@@ -1,0 +1,143 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out:
+//!
+//! * **SWWCB vs scalar scatter** — the write-combining claim of
+//!   Section 4.2 (16× memory traffic) on the software side;
+//! * **non-temporal stores on/off** — Wassenberg & Sanders' optimisation;
+//! * **single-pass SWWCB vs two-pass Manegold** — why single-pass wins
+//!   once write-combining bounds TLB misses;
+//! * **SWWCB buffer hit rate under fan-out sweep** — smaller fan-outs
+//!   keep the buffers in L1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpart::prelude::*;
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn scatter_strategies(c: &mut Criterion) {
+    let keys = KeyDistribution::Random.generate_keys::<u32>(N, 5);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let f = PartitionFn::Murmur { bits: 10 };
+
+    let mut g = c.benchmark_group("ablation_scatter");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for (label, strategy) in [
+        ("scalar", Strategy::Scalar),
+        ("swwcb", Strategy::Swwcb { non_temporal: false }),
+        ("swwcb_nt", Strategy::Swwcb { non_temporal: true }),
+        ("two_pass", Strategy::TwoPass { first_bits: 5 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new("strategy", label), &strategy, |b, &st| {
+            let p = Partitioner::cpu_with_strategy(f, 1, st);
+            b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()));
+        });
+    }
+    g.finish();
+}
+
+fn fanout_sweep(c: &mut Criterion) {
+    let keys = KeyDistribution::Random.generate_keys::<u32>(N, 6);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+
+    let mut g = c.benchmark_group("ablation_fanout");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for bits in [6u32, 8, 10, 12, 14] {
+        g.bench_with_input(BenchmarkId::new("bits", bits), &bits, |b, &bits| {
+            let p = Partitioner::cpu(PartitionFn::Murmur { bits }, 1);
+            b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    scatter_strategies,
+    fanout_sweep,
+    sort_algorithms,
+    range_vs_hash_partitioning,
+    swwcb_buffer_depth
+);
+criterion_main!(benches);
+
+fn sort_algorithms(c: &mut Criterion) {
+    use fpart::cpu::sort::{lsd_radix_sort, sample_sort};
+
+    let keys = KeyDistribution::Random.generate_keys::<u32>(N / 4, 8);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+
+    let mut g = c.benchmark_group("ablation_sort");
+    g.throughput(Throughput::Elements((N / 4) as u64));
+    g.sample_size(10);
+    g.bench_function("lsd_radix_sort", |b| {
+        b.iter(|| black_box(lsd_radix_sort(black_box(&rel), 1).len()))
+    });
+    g.bench_function("sample_sort_256", |b| {
+        b.iter(|| black_box(sample_sort(black_box(&rel), 256).len()))
+    });
+    g.bench_function("std_sort_unstable", |b| {
+        b.iter(|| {
+            let mut v = rel.tuples().to_vec();
+            v.sort_unstable_by_key(|t| t.key);
+            black_box(v.len())
+        })
+    });
+    g.finish();
+}
+
+fn range_vs_hash_partitioning(c: &mut Criterion) {
+    use fpart::cpu::{range_partition, RangeSplitters};
+
+    let keys = KeyDistribution::Random.generate_keys::<u32>(N / 4, 9);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let splitters = RangeSplitters::from_sample(&keys, 1024, 16384, 1);
+
+    let mut g = c.benchmark_group("ablation_range");
+    g.throughput(Throughput::Elements((N / 4) as u64));
+    g.sample_size(10);
+    g.bench_function("range_1024", |b| {
+        b.iter(|| black_box(range_partition(black_box(&rel), &splitters).0.total_valid()))
+    });
+    g.bench_function("murmur_1024", |b| {
+        let p = Partitioner::cpu(PartitionFn::Murmur { bits: 10 }, 1);
+        b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()))
+    });
+    g.finish();
+}
+
+fn swwcb_buffer_depth(c: &mut Criterion) {
+    use fpart::cpu::histogram;
+    use fpart::cpu::swwcb::Swwcb;
+    use fpart::types::{PartitionedRelation, SharedWriter};
+
+    let f = PartitionFn::Murmur { bits: 8 };
+    let keys = KeyDistribution::Random.generate_keys::<u32>(N / 2, 10);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let hist = histogram::build(rel.tuples(), f);
+    let bases = histogram::prefix_sum(&hist)[..hist.len()].to_vec();
+
+    let mut g = c.benchmark_group("ablation_swwcb_depth");
+    g.throughput(Throughput::Elements((N / 2) as u64));
+    g.sample_size(10);
+    for lines in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("lines", lines), &lines, |b, &lines| {
+            b.iter(|| {
+                let mut out = PartitionedRelation::<Tuple8>::with_histogram(&hist, false);
+                {
+                    let w = SharedWriter::new(&mut out);
+                    let mut wc = Swwcb::with_buffer_lines(bases.clone(), true, lines);
+                    for t in rel.tuples() {
+                        // SAFETY: single-threaded over exact extents.
+                        unsafe { wc.push(f.partition_of(t.key), *t, &w) };
+                    }
+                    // SAFETY: as above.
+                    unsafe { wc.drain(&w) };
+                }
+                black_box(out.allocated_slots())
+            })
+        });
+    }
+    g.finish();
+}

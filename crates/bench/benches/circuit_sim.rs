@@ -1,0 +1,92 @@
+//! Simulator performance and circuit-level ablations:
+//!
+//! * host cycles/second the cycle simulator achieves per mode (how
+//!   expensive the reproduction itself is);
+//! * the write-combiner in isolation under the adversarial input
+//!   patterns of Code 4 (same-partition burst, 2-cycle alternation,
+//!   scattered), with and without the QPI cap — the stall-free claim as
+//!   a measured quantity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpart::prelude::*;
+use fpart_bench::figures::common::simulate_mode;
+use fpart_costmodel::ModePair;
+use fpart_fpga::writecomb::WriteCombiner;
+use fpart_fpga::hashmod::HashedTuple;
+use std::hint::black_box;
+
+const N: usize = 1 << 17;
+
+fn simulator_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit_sim_speed");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for mode in [ModePair::PadRid, ModePair::HistRid] {
+        for raw in [false, true] {
+            let label = format!("{}{}", mode.label(), if raw { "+raw" } else { "" });
+            g.bench_with_input(BenchmarkId::new("sim", label), &(mode, raw), |b, &(m, r)| {
+                b.iter(|| black_box(simulate_mode(m, N, 8, r, 11).scatter_cycles));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn write_combiner_patterns(c: &mut Criterion) {
+    let patterns: Vec<(&str, Vec<HashedTuple<Tuple8>>)> = vec![
+        (
+            "same_partition_burst",
+            (0..N as u32)
+                .map(|i| HashedTuple {
+                    hash: 0,
+                    tuple: Tuple8::new(i, 0),
+                })
+                .collect(),
+        ),
+        (
+            "alternating_pair",
+            (0..N as u32)
+                .map(|i| HashedTuple {
+                    hash: (i % 2) as usize,
+                    tuple: Tuple8::new(i, 0),
+                })
+                .collect(),
+        ),
+        (
+            "scattered",
+            (0..N as u32)
+                .map(|i| HashedTuple {
+                    hash: (i.wrapping_mul(2654435761) % 256) as usize,
+                    tuple: Tuple8::new(i, 0),
+                })
+                .collect(),
+        ),
+    ];
+
+    let mut g = c.benchmark_group("write_combiner");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for (label, input) in &patterns {
+        g.bench_with_input(BenchmarkId::new("pattern", label), input, |b, input| {
+            b.iter(|| {
+                let mut wc = WriteCombiner::<Tuple8>::new(256);
+                let mut lines = 0u64;
+                for &ht in input {
+                    if wc.clock(Some(ht), true).is_some() {
+                        lines += 1;
+                    }
+                }
+                while wc.in_flight() > 0 {
+                    if wc.clock(None, true).is_some() {
+                        lines += 1;
+                    }
+                }
+                black_box(lines)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, simulator_speed, write_combiner_patterns);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Hash function module costs (Section 4.1's trade-off on the CPU side):
+//! the murmur finalizers vs radix extraction vs multiply-shift.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpart_hash::{murmur3_finalizer_32, murmur3_finalizer_64, PartitionFn};
+use std::hint::black_box;
+
+const N: usize = 1 << 16;
+
+fn hash_kernels(c: &mut Criterion) {
+    let keys32: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let keys64: Vec<u64> = keys32.iter().map(|&k| k as u64).collect();
+
+    let mut g = c.benchmark_group("hash_kernels");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("murmur3_32", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &k in &keys32 {
+                acc ^= murmur3_finalizer_32(black_box(k));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("murmur3_64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys64 {
+                acc ^= murmur3_finalizer_64(black_box(k));
+            }
+            black_box(acc)
+        })
+    });
+    for f in [
+        PartitionFn::Radix { bits: 13 },
+        PartitionFn::Murmur { bits: 13 },
+        PartitionFn::Multiplicative { bits: 13 },
+    ] {
+        g.bench_function(format!("partition_of_{}", f.label()), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &k in &keys32 {
+                    acc ^= f.partition_of(black_box(k));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, hash_kernels);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Join phase costs: partitioning vs build+probe (the Figure 10/11
+//! decomposition), plus the non-partitioned baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpart::join::nopart::no_partition_join;
+use fpart::prelude::*;
+use std::hint::black_box;
+
+const N: usize = 1 << 19;
+const BITS: u32 = 9;
+
+fn phases(c: &mut Criterion) {
+    let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(N as f64 / 128e6, 3);
+    let f = PartitionFn::Murmur { bits: BITS };
+    let partitioner = Partitioner::cpu(f, 1);
+    let (rp, _) = partitioner.partition(&r).unwrap();
+    let (sp, _) = partitioner.partition(&s).unwrap();
+
+    let mut g = c.benchmark_group("join_phases");
+    g.throughput(Throughput::Elements((r.len() + s.len()) as u64));
+    g.sample_size(10);
+    g.bench_function("partition_both", |b| {
+        b.iter(|| {
+            let (rp, _) = partitioner.partition(black_box(&r)).unwrap();
+            let (sp, _) = partitioner.partition(black_box(&s)).unwrap();
+            black_box((rp.total_valid(), sp.total_valid()))
+        })
+    });
+    g.bench_function("build_probe", |b| {
+        b.iter(|| {
+            black_box(fpart::join::build_probe_all(
+                black_box(&rp),
+                black_box(&sp),
+                BITS,
+                1,
+            ))
+        })
+    });
+    g.bench_function("full_radix_join", |b| {
+        let join = CpuRadixJoin::new(f, 1);
+        b.iter(|| black_box(join.execute(black_box(&r), black_box(&s)).0))
+    });
+    g.bench_function("no_partition_join", |b| {
+        b.iter(|| black_box(no_partition_join(black_box(&r), black_box(&s), 1).0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, phases);
+criterion_main!(benches);

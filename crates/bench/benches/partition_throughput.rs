@@ -1,0 +1,42 @@
+//! Partitioning throughput: the CPU baseline (radix vs murmur) measured
+//! for real, and the simulated FPGA modes (simulator wall time; the
+//! *simulated* throughputs are what the `figures` binary reports).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpart::prelude::*;
+use fpart_bench::figures::common::simulate_mode;
+use fpart_costmodel::ModePair;
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+const BITS: u32 = 10;
+
+fn cpu_partitioning(c: &mut Criterion) {
+    let keys = KeyDistribution::Random.generate_keys::<u32>(N, 7);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let mut g = c.benchmark_group("cpu_partition");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for f in [PartitionFn::Radix { bits: BITS }, PartitionFn::Murmur { bits: BITS }] {
+        g.bench_with_input(BenchmarkId::new("swwcb_nt", f.label()), &f, |b, &f| {
+            let p = Partitioner::cpu(f, 1);
+            b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()));
+        });
+    }
+    g.finish();
+}
+
+fn fpga_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fpga_sim_partition");
+    g.throughput(Throughput::Elements((N / 8) as u64));
+    g.sample_size(10);
+    for mode in ModePair::ALL {
+        g.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &mode| {
+            b.iter(|| black_box(simulate_mode(mode, N / 8, BITS, false, 7).tuples));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cpu_partitioning, fpga_simulation);
+criterion_main!(benches);

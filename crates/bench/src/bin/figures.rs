@@ -1,0 +1,122 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--scale F] [--threads N] [--seed S] [--out FILE] [--csv FILE] [IDS…]
+//!
+//!   IDS    figure ids (fig2 table1 fig3 fig4 table2 fig8 fig9
+//!          validation fig10 fig11 fig12 fig13 whatif distributed
+//!          selector aggregation); default: all
+//!   --scale F     fraction of the paper's tuple counts (default 1/64)
+//!   --threads N   host threads for measured runs (default: all)
+//!   --seed S      data-generation seed (default 42)
+//!   --out FILE    also write the report to FILE
+//!   --list        list available figures
+//! ```
+
+use std::io::Write;
+
+use fpart_bench::figures::ALL;
+use fpart_bench::Scale;
+
+fn main() {
+    let mut scale = Scale::default_scale();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_file: Option<String> = None;
+    let mut csv_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale.fraction = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+                assert!(
+                    scale.fraction > 0.0 && scale.fraction <= 1.0,
+                    "--scale must be in (0, 1]"
+                );
+            }
+            "--threads" => {
+                scale.host_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--seed" => {
+                scale.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => {
+                out_file = Some(args.next().expect("--out needs a path"));
+            }
+            "--csv" => {
+                csv_file = Some(args.next().expect("--csv needs a path"));
+            }
+            "--list" => {
+                for fig in ALL {
+                    println!("{:<12} {}", fig.id, fig.description);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return;
+            }
+            id if !id.starts_with("--") => ids.push(id.trim_start_matches("--").to_string()),
+            other => {
+                eprintln!("unknown flag {other}\n{HELP}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let selected: Vec<_> = if ids.is_empty() {
+        ALL.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                ALL.iter().find(|f| f.id == id).unwrap_or_else(|| {
+                    eprintln!("unknown figure id {id:?} (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut report = String::new();
+    let mut csv = String::new();
+    report.push_str(&format!(
+        "# fpart evaluation report (scale {:.5}, {} host thread(s), seed {})\n\n",
+        scale.fraction, scale.host_threads, scale.seed
+    ));
+    for fig in selected {
+        eprintln!("[figures] running {} — {}", fig.id, fig.description);
+        let t0 = std::time::Instant::now();
+        let tables = (fig.run)(&scale);
+        report.push_str(&fpart_bench::table::render_tables(&tables));
+        report.push_str(&format!(
+            "  (generated in {:.1}s)\n\n",
+            t0.elapsed().as_secs_f64()
+        ));
+        csv.push_str(&fpart_bench::table::render_tables_csv(&tables));
+        csv.push('\n');
+    }
+    print!("{report}");
+    if let Some(path) = out_file {
+        let mut f = std::fs::File::create(&path).expect("create --out file");
+        f.write_all(report.as_bytes()).expect("write --out file");
+        eprintln!("[figures] report written to {path}");
+    }
+    if let Some(path) = csv_file {
+        let mut f = std::fs::File::create(&path).expect("create --csv file");
+        f.write_all(csv.as_bytes()).expect("write --csv file");
+        eprintln!("[figures] csv written to {path}");
+    }
+}
+
+const HELP: &str = "\
+figures [--scale F] [--threads N] [--seed S] [--out FILE] [--csv FILE] [IDS...]
+Regenerates the paper's tables and figures. Use --list to see ids.";

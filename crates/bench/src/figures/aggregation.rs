@@ -1,0 +1,75 @@
+//! Extension: FPGA group-by aggregation with synchronizing caches
+//! (the Discussion's Absalyamov-style direction).
+//!
+//! Sweeps key skew and cache size; the interesting quantity is the
+//! on-chip merge rate: heavy hitters stay cache-resident (high hit rate,
+//! little victim traffic), while flat distributions with more groups
+//! than slots thrash and lean on the software synchronisation merge.
+
+use fpart::datagen::dist::zipf_foreign_keys;
+use fpart::fpga::aggcache::fpga_group_by_harp;
+use fpart::prelude::*;
+
+use crate::figures::common::scale_note;
+use crate::table::{fnum, TextTable};
+use crate::Scale;
+
+/// Generate the aggregation report.
+pub fn run(scale: &Scale) -> Vec<TextTable> {
+    let n = scale.n_128m() / 4;
+    let domain: Vec<u32> = KeyDistribution::Random.generate_keys(n / 16, scale.seed);
+
+    let mut t = TextTable::new(
+        format!("FPGA group-by — {n} rows over {} distinct keys (simulated)", domain.len()),
+        &[
+            "zipf",
+            "cache bits",
+            "groups",
+            "on-chip merge rate",
+            "victims",
+            "Mtuples/s",
+        ],
+    );
+    for z in [0.0, 0.5, 1.0, 1.5] {
+        for bits in [8u32, 12, 16] {
+            let keys = zipf_foreign_keys(&domain, n, z, scale.seed ^ 0x77);
+            let rel = Relation::<Tuple8>::from_keys(&keys);
+            let (groups, report) = fpga_group_by_harp(&rel, bits).expect("group-by");
+            t.row(vec![
+                format!("{z:.1}"),
+                bits.to_string(),
+                groups.len().to_string(),
+                format!("{:.1}%", report.hit_rate() * 100.0),
+                report.evictions.to_string(),
+                fnum(report.mtuples_per_sec()),
+            ]);
+        }
+    }
+    t.note("bigger caches and heavier skew both raise the on-chip merge rate");
+    t.note("all rows verified against software aggregation in the test suite");
+    t.note(scale_note(scale));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_rises_with_cache_and_skew() {
+        let scale = Scale {
+            fraction: 1.0 / 512.0,
+            host_threads: 1,
+            seed: 8,
+        };
+        let n = scale.n_128m() / 4;
+        let domain: Vec<u32> = KeyDistribution::Random.generate_keys(n / 16, 8);
+        let rate = |z: f64, bits: u32| {
+            let keys = zipf_foreign_keys(&domain, n, z, 9);
+            let rel = Relation::<Tuple8>::from_keys(&keys);
+            fpga_group_by_harp(&rel, bits).unwrap().1.hit_rate()
+        };
+        assert!(rate(1.5, 12) > rate(0.0, 12), "skew helps the cache");
+        assert!(rate(0.0, 16) > rate(0.0, 8), "capacity helps the cache");
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared helpers for the figure generators.
+
+use fpart::prelude::*;
+use fpart_costmodel::ModePair;
+use fpart_fpga::{FpgaPartitioner, RunReport};
+use fpart_hwsim::QpiConfig;
+
+use crate::Scale;
+
+/// Build a row-store relation with `dist` keys at the given size.
+pub fn relation(n: usize, dist: KeyDistribution, seed: u64) -> Relation<Tuple8> {
+    Relation::from_keys(&dist.generate_keys::<u32>(n, seed))
+}
+
+/// Run the simulated FPGA partitioner in a given mode pair over `n`
+/// random tuples; `raw` swaps the QPI link for the 25.6 GB/s wrapper.
+pub fn simulate_mode(
+    mode: ModePair,
+    n: usize,
+    bits: u32,
+    raw: bool,
+    seed: u64,
+) -> RunReport {
+    let (output, input) = split_mode(mode);
+    let config = PartitionerConfig {
+        partition_fn: PartitionFn::Murmur { bits },
+        ..PartitionerConfig::paper_default(output, input)
+    };
+    let partitioner = if raw {
+        FpgaPartitioner::with_qpi(
+            config,
+            QpiConfig::harp(fpart::memmodel::bandwidth::raw_wrapper_curve()),
+        )
+    } else {
+        FpgaPartitioner::new(config)
+    };
+    let keys = KeyDistribution::Random.generate_keys::<u32>(n, seed);
+    if input == InputMode::Vrid {
+        let col = ColumnRelation::<Tuple8>::from_keys(&keys);
+        partitioner.partition_columns(&col).expect("VRID sim").1
+    } else {
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        partitioner.partition(&rel).expect("RID sim").1
+    }
+}
+
+/// Mode pair → circuit configuration.
+pub fn split_mode(mode: ModePair) -> (OutputMode, InputMode) {
+    match mode {
+        ModePair::HistRid => (OutputMode::Hist, InputMode::Rid),
+        ModePair::HistVrid => (OutputMode::Hist, InputMode::Vrid),
+        ModePair::PadRid => (OutputMode::pad_default(), InputMode::Rid),
+        ModePair::PadVrid => (OutputMode::pad_default(), InputMode::Vrid),
+    }
+}
+
+/// Standard preamble line describing the run scale.
+pub fn scale_note(scale: &Scale) -> String {
+    format!(
+        "scale {:.5} of the paper's sizes ({} tuples for 128M workloads), host has {} thread(s)",
+        scale.fraction,
+        scale.n_128m(),
+        scale.host_threads
+    )
+}
+
+/// The paper's per-figure thread axis.
+pub const THREAD_AXIS: [usize; 5] = [1, 2, 4, 8, 10];
+
+/// The paper's Figure 10 partition axis.
+pub const PARTITION_AXIS: [usize; 6] = [256, 512, 1024, 2048, 4096, 8192];

@@ -1,0 +1,77 @@
+//! Figure 2: memory bandwidth available to the CPU and QPI bandwidth
+//! available to the FPGA, vs the sequential-read / random-write ratio.
+//!
+//! On the original hardware this is a measurement; here the curves are the
+//! *calibrated reconstruction* every downstream model keys off, so the
+//! table doubles as the calibration record. The anchor cells (marked `*`)
+//! are pinned to the paper's published values.
+
+use fpart_memmodel::{BandwidthCurve, RwMix};
+
+use crate::table::{fnum, TextTable};
+use crate::Scale;
+
+/// Generate the Figure 2 table.
+pub fn run(_scale: &Scale) -> Vec<TextTable> {
+    let cpu = BandwidthCurve::cpu_alone();
+    let fpga = BandwidthCurve::fpga_alone();
+    let cpu_i = BandwidthCurve::cpu_interfered();
+    let fpga_i = BandwidthCurve::fpga_interfered();
+
+    let mut t = TextTable::new(
+        "Figure 2 — bandwidth (GB/s) vs seq-read/rand-write ratio",
+        &[
+            "read/write",
+            "CPU alone",
+            "FPGA alone",
+            "CPU interf.",
+            "FPGA interf.",
+        ],
+    );
+    for i in (0..=10).rev() {
+        let read = i as f64 / 10.0;
+        let write = 1.0 - read;
+        let r = if write == 0.0 {
+            f64::INFINITY
+        } else {
+            read / write
+        };
+        let mix = RwMix::from_r(r);
+        let mark = |x: f64, anchor: bool| {
+            if anchor {
+                format!("{}*", fnum(x))
+            } else {
+                fnum(x)
+            }
+        };
+        // Anchors: FPGA curve at read fractions 1/3, 1/2, 2/3 (§4.8).
+        let fpga_anchor = [1.0 / 3.0, 0.5, 2.0 / 3.0]
+            .iter()
+            .any(|&a| (mix.read_fraction() - a).abs() < 0.04);
+        t.row(vec![
+            format!("{:.1}/{:.1}", read, write),
+            fnum(cpu.gbps(mix)),
+            mark(fpga.gbps(mix), fpga_anchor),
+            fnum(cpu_i.gbps(mix)),
+            fnum(fpga_i.gbps(mix)),
+        ]);
+    }
+    t.note("* cells interpolate the Section 4.8 anchors: B(r=2)=7.05, B(r=1)=6.97, B(r=0.5)=5.94 GB/s");
+    t.note("CPU curve anchored on Figure 9's 506 Mtuples/s (12.14 GB/s at r=2) and the ~30 GB/s ceiling");
+    t.note("interference factors 0.72 (CPU) / 0.62 (FPGA) estimated from Figure 2's interfered curves");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_eleven_ratios() {
+        let s = crate::table::render_tables(&run(&Scale::default_scale()));
+        assert!(s.matches('\n').count() >= 13);
+        assert!(s.contains("1.0/0.0"));
+        assert!(s.contains("0.0/1.0"));
+        assert!(s.contains("7.05"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 4: CPU partitioning throughput with 8 B tuples, varying key
+//! distribution and partitioning method, 1–10 threads.
+//!
+//! Columns: the calibrated model of the paper's 10-core Xeon (the figure
+//! the paper plots) plus a measured run on this host at its available
+//! thread count (the code is real; the host is not a Xeon E5-2680 v2).
+
+use fpart::prelude::*;
+use fpart_costmodel::cpu::DistributionKind;
+use fpart_costmodel::CpuCostModel;
+
+use crate::figures::common::{relation, scale_note, THREAD_AXIS};
+use crate::table::{fnum, TextTable};
+use crate::Scale;
+
+fn kind(dist: KeyDistribution) -> DistributionKind {
+    match dist {
+        KeyDistribution::Linear => DistributionKind::Linear,
+        KeyDistribution::Random => DistributionKind::Random,
+        KeyDistribution::Grid => DistributionKind::Grid,
+        KeyDistribution::ReverseGrid => DistributionKind::ReverseGrid,
+    }
+}
+
+/// Generate the Figure 4 report.
+pub fn run(scale: &Scale) -> Vec<TextTable> {
+    let model = CpuCostModel::paper();
+    let bits = scale.partition_bits_for(13);
+    let n = scale.n_128m();
+
+    let mut t = TextTable::new(
+        "Figure 4 — CPU partitioning throughput (Mtuples/s), model of the paper's Xeon",
+        &["series", "1t", "2t", "4t", "8t", "10t"],
+    );
+    for dist in KeyDistribution::ALL {
+        let mut cells = vec![format!("radix ({})", dist.label())];
+        for threads in THREAD_AXIS {
+            cells.push(fnum(
+                model.throughput(PartitionFn::Radix { bits: 13 }, kind(dist), threads, 8) / 1e6,
+            ));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["hash (all)".to_string()];
+    for threads in THREAD_AXIS {
+        cells.push(fnum(
+            model.throughput(PartitionFn::Murmur { bits: 13 }, DistributionKind::Linear, threads, 8)
+                / 1e6,
+        ));
+    }
+    t.row(cells);
+    t.note("paper: hash partitioning delivers the same throughput for every distribution; the");
+    t.note("1-thread hash penalty (~1.5x) vanishes once the socket is memory bound (~506 Mt/s)");
+
+    // Measured on this host.
+    let mut m = TextTable::new(
+        format!(
+            "Figure 4 (measured on this host) — {} threads, {n} tuples, {} partitions",
+            scale.host_threads,
+            1 << bits
+        ),
+        &["series", "Mtuples/s (measured)"],
+    );
+    for dist in KeyDistribution::ALL {
+        let rel = relation(n, dist, scale.seed);
+        for f in [PartitionFn::Radix { bits }, PartitionFn::Murmur { bits }] {
+            let (_, report) = Partitioner::cpu(f, scale.host_threads)
+                .partition(&rel)
+                .expect("cpu partition");
+            m.row(vec![
+                format!("{} ({})", f.label(), dist.label()),
+                fnum(report.mtuples_per_sec()),
+            ]);
+        }
+    }
+    m.note(scale_note(scale));
+    vec![t, m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_table_has_all_series() {
+        let out = crate::table::render_tables(&run(&Scale {
+            fraction: 1.0 / 1024.0,
+            host_threads: 1,
+            seed: 0,
+        }));
+        assert!(out.contains("radix (linear)"));
+        assert!(out.contains("radix (rev. grid)"));
+        assert!(out.contains("hash (all)"));
+        assert!(out.contains("506"), "memory-bound plateau visible");
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 8: FPGA partitioner throughput in tuples/s and total data
+//! processed in GB/s, across the four tuple widths (HIST/RID mode).
+//!
+//! Tuples/s halves as width doubles while GB/s stays flat — the
+//! experimental proof that the circuit is bandwidth bound.
+
+use fpart::prelude::*;
+use fpart_costmodel::{FpgaCostModel, ModePair};
+use fpart_datagen::KeyDistribution;
+use fpart_fpga::FpgaPartitioner;
+
+use crate::figures::common::scale_note;
+use crate::table::{fnum, TextTable};
+use crate::Scale;
+
+fn simulate_width<T: Tuple<K = u64>>(n: usize, bits: u32, seed: u64) -> (f64, f64) {
+    let config = PartitionerConfig {
+        partition_fn: PartitionFn::Murmur { bits },
+        ..PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid)
+    };
+    let keys = KeyDistribution::Random.generate_keys::<u64>(n, seed);
+    let rel = Relation::<T>::from_keys(&keys);
+    let (_, report) = FpgaPartitioner::new(config).partition(&rel).expect("sim");
+    (report.mtuples_per_sec(), report.link_gbps())
+}
+
+/// Generate the Figure 8 report.
+pub fn run(scale: &Scale) -> Vec<TextTable> {
+    let n = scale.n_128m();
+    let bits = scale.partition_bits_for(13);
+    let model = {
+        let mut m = FpgaCostModel::paper();
+        m.partitions = 1 << bits;
+        m
+    };
+
+    let mut t = TextTable::new(
+        format!("Figure 8 — FPGA throughput vs tuple width (HIST/RID, {n} tuples)"),
+        &[
+            "tuple width",
+            "model Mt/s",
+            "sim Mt/s",
+            "model GB/s",
+            "sim GB/s",
+        ],
+    );
+
+    // 8 B uses u32 keys; measure separately.
+    let (mt8, gb8) = {
+        let config = PartitionerConfig {
+            partition_fn: PartitionFn::Murmur { bits },
+            ..PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid)
+        };
+        let keys = KeyDistribution::Random.generate_keys::<u32>(n, scale.seed);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let (_, report) = FpgaPartitioner::new(config).partition(&rel).expect("sim");
+        (report.mtuples_per_sec(), report.link_gbps())
+    };
+    let widths: [(usize, f64, f64); 4] = [
+        (8, mt8, gb8),
+        {
+            let (mt, gb) = simulate_width::<Tuple16>(n / 2, bits, scale.seed);
+            (16, mt, gb)
+        },
+        {
+            let (mt, gb) = simulate_width::<Tuple32>(n / 4, bits, scale.seed);
+            (32, mt, gb)
+        },
+        {
+            let (mt, gb) = simulate_width::<Tuple64>(n / 8, bits, scale.seed);
+            (64, mt, gb)
+        },
+    ];
+    for (w, mt, gb) in widths {
+        t.row(vec![
+            format!("{w}B"),
+            fnum(model.p_total((n / (w / 8)) as u64, w, ModePair::HistRid) / 1e6),
+            fnum(mt),
+            fnum(model.data_gbps((n / (w / 8)) as u64, w, ModePair::HistRid)),
+            fnum(gb),
+        ]);
+    }
+    t.note("paper: ~299 Mt/s at 8B falling ~2x per doubling; total GB/s nearly constant");
+    t.note(scale_note(scale));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_halves_and_gbps_flat() {
+        let scale = Scale {
+            fraction: 1.0 / 1024.0,
+            host_threads: 1,
+            seed: 2,
+        };
+        let out = crate::table::render_tables(&run(&scale));
+        let rows: Vec<Vec<f64>> = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()) && l.contains('B'))
+            .map(|l| {
+                l.split_whitespace()
+                    .skip(1)
+                    .filter_map(|c| c.parse::<f64>().ok())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(rows.len(), 4, "four width rows in:\n{out}");
+        // sim Mt/s (col 1) roughly halves per width doubling.
+        for w in rows.windows(2) {
+            let ratio = w[0][1] / w[1][1];
+            assert!((1.5..3.0).contains(&ratio), "ratio {ratio}:\n{out}");
+        }
+    }
+}

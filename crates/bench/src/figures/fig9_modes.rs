@@ -1,0 +1,128 @@
+//! Figure 9: end-to-end partitioning throughput of the four FPGA mode
+//! pairs, the 10-core CPU baseline, the raw-wrapper circuit ceiling, and
+//! the related-work reference bars — 8192 partitions, 8 B tuples.
+
+use fpart::prelude::*;
+use fpart_costmodel::cpu::DistributionKind;
+use fpart_costmodel::{CpuCostModel, FpgaCostModel, ModePair};
+
+use crate::figures::common::{relation, scale_note, simulate_mode};
+use crate::table::{fnum, TextTable};
+use crate::Scale;
+
+/// The paper's Figure 9 bar heights (M 8B-tuples/s).
+pub const PAPER_BARS: [(&str, f64); 9] = [
+    ("[27] Polychroniou (32 cores)", 1100.0),
+    ("[37] Wang (FPGA)", 256.0),
+    ("HIST/RID", 299.0),
+    ("HIST/VRID", 391.0),
+    ("PAD/RID", 436.0),
+    ("PAD/VRID", 514.0),
+    ("CPU (10 cores)", 506.0),
+    ("Raw FPGA (HIST)", 799.0),
+    ("Raw FPGA (PAD)", 1597.0),
+];
+
+/// Generate the Figure 9 report.
+pub fn run(scale: &Scale) -> Vec<TextTable> {
+    let n = scale.n_128m();
+    let bits = scale.partition_bits_for(13);
+    let fpga_model = {
+        let mut m = FpgaCostModel::paper();
+        m.partitions = 1 << bits;
+        m
+    };
+    let raw_model = {
+        let mut m = FpgaCostModel::raw_wrapper();
+        m.partitions = 1 << bits;
+        m
+    };
+    let cpu_model = CpuCostModel::paper();
+
+    let mut t = TextTable::new(
+        format!("Figure 9 — partitioning throughput (Mtuples/s), {n} 8B tuples, {} partitions", 1 << bits),
+        &["series", "paper", "model", "ours"],
+    );
+    t.row(vec![
+        PAPER_BARS[0].0.into(),
+        fnum(PAPER_BARS[0].1),
+        "-".into(),
+        "- (reference bar)".into(),
+    ]);
+    t.row(vec![
+        PAPER_BARS[1].0.into(),
+        fnum(PAPER_BARS[1].1),
+        "-".into(),
+        "- (reference bar)".into(),
+    ]);
+    for (mode, paper) in [
+        (ModePair::HistRid, 299.0),
+        (ModePair::HistVrid, 391.0),
+        (ModePair::PadRid, 436.0),
+        (ModePair::PadVrid, 514.0),
+    ] {
+        let report = simulate_mode(mode, n, bits, false, scale.seed);
+        t.row(vec![
+            mode.label().into(),
+            fnum(paper),
+            fnum(fpga_model.p_total(n as u64, 8, mode) / 1e6),
+            format!("{} (sim)", fnum(report.mtuples_per_sec())),
+        ]);
+    }
+    // CPU 10 cores: model + local measurement.
+    let rel = relation(n, KeyDistribution::Linear, scale.seed);
+    let (_, cpu_report) = Partitioner::cpu(PartitionFn::Murmur { bits }, scale.host_threads)
+        .partition(&rel)
+        .expect("cpu partition");
+    t.row(vec![
+        "CPU (10 cores)".into(),
+        fnum(506.0),
+        fnum(cpu_model.throughput(PartitionFn::Murmur { bits: 13 }, DistributionKind::Linear, 10, 8) / 1e6),
+        format!(
+            "{} (measured, {}t host)",
+            fnum(cpu_report.mtuples_per_sec()),
+            scale.host_threads
+        ),
+    ]);
+    for (mode, label, paper) in [
+        (ModePair::HistRid, "Raw FPGA (HIST)", 799.0),
+        (ModePair::PadRid, "Raw FPGA (PAD)", 1597.0),
+    ] {
+        let report = simulate_mode(mode, n, bits, true, scale.seed);
+        t.row(vec![
+            label.into(),
+            fnum(paper),
+            fnum(raw_model.p_total(n as u64, 8, mode) / 1e6),
+            format!("{} (sim, 25.6 GB/s wrapper)", fnum(report.mtuples_per_sec())),
+        ]);
+    }
+    t.note("ordering to check: HIST/RID < HIST/VRID <= PAD/RID < PAD/VRID ~ CPU; raw PAD ~ 3x PAD/RID");
+    t.note(scale_note(scale));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_figure9() {
+        let scale = Scale {
+            fraction: 1.0 / 1024.0,
+            host_threads: 2,
+            seed: 3,
+        };
+        let n = scale.n_128m();
+        let bits = scale.partition_bits_for(13);
+        let sim = |mode, raw| {
+            simulate_mode(mode, n, bits, raw, 3).mtuples_per_sec()
+        };
+        let hist_rid = sim(ModePair::HistRid, false);
+        let pad_rid = sim(ModePair::PadRid, false);
+        let pad_vrid = sim(ModePair::PadVrid, false);
+        let raw_pad = sim(ModePair::PadRid, true);
+        assert!(hist_rid < pad_rid, "{hist_rid} !< {pad_rid}");
+        assert!(pad_rid < pad_vrid, "{pad_rid} !< {pad_vrid}");
+        assert!(raw_pad > 2.0 * pad_rid, "raw {raw_pad} vs {pad_rid}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-figure regeneration (see DESIGN.md §4 for the experiment index).
+//!
+//! Every generator returns its rendered text so the `figures` binary can
+//! both print it and archive it for EXPERIMENTS.md.
+
+pub mod aggregation;
+pub mod common;
+pub mod distributed;
+pub mod fig10_partitions;
+pub mod fig11_threads;
+pub mod fig12_distributions;
+pub mod fig13_skew;
+pub mod fig2_bandwidth;
+pub mod fig3_cdf;
+pub mod fig4_cpu_threads;
+pub mod fig8_width;
+pub mod fig9_modes;
+pub mod selector_scan;
+pub mod table1_coherence;
+pub mod table2_resources;
+pub mod validation;
+pub mod whatif_future;
+
+use crate::table::TextTable;
+use crate::Scale;
+
+/// A figure generator: id, description, function.
+pub struct Figure {
+    /// CLI id (e.g. "fig9").
+    pub id: &'static str,
+    /// What it reproduces.
+    pub description: &'static str,
+    /// The generator: returns one or more tables ready for text or CSV
+    /// rendering.
+    pub run: fn(&Scale) -> Vec<TextTable>,
+}
+
+/// All figures, in paper order.
+pub const ALL: &[Figure] = &[
+    Figure {
+        id: "fig2",
+        description: "Figure 2: memory bandwidth vs seq-read/rand-write ratio",
+        run: fig2_bandwidth::run,
+    },
+    Figure {
+        id: "table1",
+        description: "Table 1: cache-coherence read penalties",
+        run: table1_coherence::run,
+    },
+    Figure {
+        id: "fig3",
+        description: "Figure 3: tuple distribution across partitions (radix vs hash)",
+        run: fig3_cdf::run,
+    },
+    Figure {
+        id: "fig4",
+        description: "Figure 4: CPU partitioning throughput vs threads",
+        run: fig4_cpu_threads::run,
+    },
+    Figure {
+        id: "table2",
+        description: "Table 2: FPGA resource usage vs tuple width",
+        run: table2_resources::run,
+    },
+    Figure {
+        id: "fig8",
+        description: "Figure 8: FPGA throughput vs tuple width",
+        run: fig8_width::run,
+    },
+    Figure {
+        id: "fig9",
+        description: "Figure 9: partitioning throughput across modes",
+        run: fig9_modes::run,
+    },
+    Figure {
+        id: "validation",
+        description: "Section 4.8: analytical model validation",
+        run: validation::run,
+    },
+    Figure {
+        id: "fig10",
+        description: "Figure 10: join time vs number of partitions",
+        run: fig10_partitions::run,
+    },
+    Figure {
+        id: "fig11",
+        description: "Figure 11: join time vs threads (workloads A, B)",
+        run: fig11_threads::run,
+    },
+    Figure {
+        id: "fig12",
+        description: "Figure 12: join time vs threads (workloads C, D, E)",
+        run: fig12_distributions::run,
+    },
+    Figure {
+        id: "fig13",
+        description: "Figure 13: join time vs Zipf skew factor",
+        run: fig13_skew::run,
+    },
+    Figure {
+        id: "whatif",
+        description: "Conclusion what-if: bandwidth sweep and CPU crossovers",
+        run: whatif_future::run,
+    },
+    Figure {
+        id: "distributed",
+        description: "Extension: rack-scale distributed join scaling (Section 6 future work)",
+        run: distributed::run,
+    },
+    Figure {
+        id: "selector",
+        description: "Extension: streaming selection offload vs selectivity (Discussion)",
+        run: selector_scan::run,
+    },
+    Figure {
+        id: "aggregation",
+        description: "Extension: FPGA group-by with synchronizing caches (Discussion)",
+        run: aggregation::run,
+    },
+];

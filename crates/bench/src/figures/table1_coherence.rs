@@ -1,0 +1,64 @@
+//! Table 1: CPU read time over a 512 MB region depending on which socket
+//! wrote it last — the cache-coherence side effect of Section 2.2.
+//!
+//! The measurement needs the two-socket Xeon+FPGA machine; this table
+//! records the paper's values, the multipliers the join model derives
+//! from them, and a functional check of the snoop-filter semantics via
+//! [`fpart_memmodel::CoherenceTracker`].
+
+use fpart_memmodel::{CoherencePenalty, CoherenceTracker, Socket};
+
+use crate::table::TextTable;
+use crate::Scale;
+
+/// Generate the Table 1 report.
+pub fn run(_scale: &Scale) -> Vec<TextTable> {
+    let p = CoherencePenalty::TABLE1;
+    let mut t = TextTable::new(
+        "Table 1 — CPU read time (s) for 512 MB by last writer [paper values]",
+        &["last writer", "sequential read", "random read"],
+    );
+    t.row(vec![
+        "CPU".into(),
+        format!("{:.4}", p.seq_after_cpu),
+        format!("{:.4}", p.rand_after_cpu),
+    ]);
+    t.row(vec![
+        "FPGA".into(),
+        format!("{:.4}", p.seq_after_fpga),
+        format!("{:.4}", p.rand_after_fpga),
+    ]);
+    t.row(vec![
+        "multiplier".into(),
+        format!("{:.3}x", p.sequential_multiplier()),
+        format!("{:.3}x", p.random_multiplier()),
+    ]);
+    t.note("multipliers feed the hybrid join's build (sequential) and probe (random) phases");
+
+    // Functional check: reads never clear FPGA ownership; a CPU write does.
+    let mut tracker = CoherenceTracker::new(8192);
+    tracker.record_write_run(Socket::Fpga, 0, 8192);
+    let before = tracker.cpu_read_multiplier(100, false);
+    let still = tracker.cpu_read_multiplier(100, false);
+    tracker.record_write(Socket::Cpu, 100);
+    let after = tracker.cpu_read_multiplier(100, false);
+    t.note(format!(
+        "snoop-filter semantics check: random-read multiplier {before:.3} → {still:.3} after \
+         re-reads (unchanged) → {after:.3} after a CPU write"
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_paper_values_and_check() {
+        let s = crate::table::render_tables(&run(&Scale::default_scale()));
+        assert!(s.contains("0.1381"));
+        assert!(s.contains("2.4876"));
+        assert!(s.contains("2.156x"));
+        assert!(s.contains("1.000 after a CPU write"));
+    }
+}

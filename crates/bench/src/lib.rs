@@ -1,0 +1,23 @@
+//! # fpart-bench
+//!
+//! The evaluation harness. The `figures` binary regenerates every table
+//! and figure of the paper (see DESIGN.md §4 for the index); the
+//! `benches/` directory holds criterion micro-benchmarks and the
+//! ablation studies DESIGN.md §5 calls out.
+//!
+//! Each figure prints three kinds of columns where applicable:
+//!
+//! * **paper** — the number published in the paper (hard-coded citation);
+//! * **model** — the calibrated analytical prediction for the paper's
+//!   machine (`fpart-costmodel`);
+//! * **ours** — what this reproduction produces: cycle-accurate
+//!   simulation for the FPGA, wall-clock measurement for CPU code
+//!   (marked, since the host is not a 10-core Xeon).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;
+pub mod table;
+
+pub use scale::Scale;

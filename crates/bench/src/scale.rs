@@ -1,0 +1,86 @@
+//! Run-scale configuration.
+//!
+//! The paper's workloads are 128 M ⋈ 128 M tuples on a 10-core Xeon. The
+//! harness scales tuple counts down (default 1/64 ≈ 2 M) so the full
+//! figure suite completes in minutes on a laptop; EXPERIMENTS.md records
+//! the scale of each archived run. `--scale 1.0` reproduces full size.
+
+/// Scaling knobs shared by all figure generators.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Fraction of the paper's tuple counts (1.0 = 128 M tuples).
+    pub fraction: f64,
+    /// Host threads available for measured CPU runs.
+    pub host_threads: usize,
+    /// RNG seed for data generation.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Default: 1/64 of the paper's size, all host threads.
+    pub fn default_scale() -> Self {
+        Self {
+            fraction: 1.0 / 64.0,
+            host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            seed: 42,
+        }
+    }
+
+    /// Tuples corresponding to the paper's 128 M at this scale.
+    pub fn n_128m(&self) -> usize {
+        ((128_000_000f64 * self.fraction) as usize).max(1024)
+    }
+
+    /// Scale an arbitrary paper-size tuple count.
+    pub fn scaled(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.fraction) as usize).max(1024)
+    }
+
+    /// Partition count scaled so partitions keep the paper's per-partition
+    /// fill (the cache-fit behaviour of Figure 10 depends on fill, not on
+    /// the partition count itself). 8192 at full scale.
+    pub fn partition_bits_for(&self, paper_bits: u32) -> u32 {
+        let shrink = (1.0 / self.fraction).log2().round() as u32;
+        paper_bits.saturating_sub(shrink).max(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_two_million() {
+        let s = Scale::default_scale();
+        assert_eq!(s.n_128m(), 2_000_000);
+        assert_eq!(s.scaled(256_000_000), 4_000_000);
+    }
+
+    #[test]
+    fn partition_bits_track_fill() {
+        let s = Scale {
+            fraction: 1.0 / 64.0,
+            host_threads: 1,
+            seed: 0,
+        };
+        // 1/64 scale → 6 fewer bits: 8192 → 128 partitions, same fill.
+        assert_eq!(s.partition_bits_for(13), 7);
+        let full = Scale {
+            fraction: 1.0,
+            host_threads: 1,
+            seed: 0,
+        };
+        assert_eq!(full.partition_bits_for(13), 13);
+    }
+
+    #[test]
+    fn minimum_sizes_enforced() {
+        let tiny = Scale {
+            fraction: 1e-9,
+            host_threads: 1,
+            seed: 0,
+        };
+        assert_eq!(tiny.n_128m(), 1024);
+        assert_eq!(tiny.partition_bits_for(13), 4);
+    }
+}

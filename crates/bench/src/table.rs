@@ -1,0 +1,188 @@
+//! Minimal aligned-text table printer for figure output.
+
+/// A text table with a title, header and rows.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl TextTable {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are pre-formatted strings).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render as CSV (one header row + data rows; notes become `#`
+    /// comment lines) for machine consumption alongside the aligned text.
+    pub fn render_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# note: {note}\n"));
+        }
+        out
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align labels.
+                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                    line.push_str(&format!("{cell:>w$}"));
+                } else {
+                    line.push_str(&format!("{cell:<w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// Format a float with sensible precision for throughput/time columns.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Demo", &["x", "value"]);
+        t.row(vec!["a".into(), "1.50".into()]);
+        t.row(vec!["long-label".into(), "100".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("long-label"));
+        assert!(s.contains("note: a note"));
+        // Numeric cells right-aligned within the widest column.
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fnum_precision() {
+        assert_eq!(fnum(1234.5), "1234");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(0.1234), "0.1234");
+        assert_eq!(fnum(0.0), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_and_comments() {
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        t.row(vec!["with \"quote\"".into(), "2".into()]);
+        t.note("footer");
+        let csv = t.render_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.contains("\"with \"\"quote\"\"\",2"));
+        assert!(csv.contains("# note: footer"));
+        assert!(csv.starts_with("# T\na,b\n"));
+    }
+}
+
+/// Render a slice of tables as one text report section.
+pub fn render_tables(tables: &[TextTable]) -> String {
+    tables
+        .iter()
+        .map(TextTable::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Render a slice of tables as CSV sections.
+pub fn render_tables_csv(tables: &[TextTable]) -> String {
+    tables
+        .iter()
+        .map(TextTable::render_csv)
+        .collect::<Vec<_>>()
+        .join("\n")
+}

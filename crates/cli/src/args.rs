@@ -1,0 +1,578 @@
+//! Hand-rolled argument parsing (no CLI dependency; the surface is
+//! small and the parser is fully unit-tested).
+
+use fpart::prelude::*;
+use fpart_costmodel::ModePair;
+
+/// Usage reference printed on parse errors and by `fpart help`.
+pub const USAGE: &str = "\
+fpart <command> [flags]
+
+commands:
+  gen         generate a relation and write it to a file
+  partition   partition a generated relation and report throughput
+  join        run a Table 4 join workload
+  dist        run a distributed join across a simulated cluster
+  select      run the streaming selection accelerator (simulated)
+  groupby     run the FPGA aggregating-cache group-by (simulated)
+  sort        sort a generated relation via partitioning
+  model       print the Section 4.6 analytical prediction
+  help        show this text
+
+common flags:
+  --n <tuples>          relation size (partition/sort; default 1000000)
+  --dist <d>            linear|random|grid|revgrid (default random)
+  --seed <s>            data seed (default 42)
+  --threads <t>         worker threads (default: all cores)
+  --bits <b>            partition bits (default 13 = 8192 partitions)
+
+gen flags:
+  --out <file>          destination (.csv suffix → CSV, else FPRT binary)
+
+partition flags:
+  --in <file>           read the relation from a file instead of generating
+  --backend <b>         cpu|fpga (default cpu)
+  --fn <f>              radix|murmur (default murmur)
+  --mode <m>            hist/rid|hist/vrid|pad/rid|pad/vrid (fpga; default pad/rid)
+
+join flags:
+  --workload <w>        A|B|C|D|E (default A)
+  --scale <f>           fraction of paper size (default 0.01)
+  --backend <b>         cpu|hybrid (default cpu)
+  --zipf <z>            skew the probe side
+
+dist flags:
+  --nodes <n>           cluster size, power of two (default 4)
+  --scale <f>           fraction of workload A (default 0.005)
+  --net <n>             ib|10gbe (default ib)
+
+select flags:
+  --pct <p>             predicate selectivity target in percent (default 25)
+
+groupby flags:
+  --groups <g>          distinct keys to generate (default 1000)
+  --zipf <z>            key skew (default 0.5)
+  --cache-bits <b>      aggregating-cache size (default: sized to groups)
+
+sort flags:
+  --algo <a>            lsd|sample (default lsd)
+
+model flags:
+  --mode <m>            as above (default pad/rid)
+  --gbps <g>            override link bandwidth (flat curve)";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fpart gen`.
+    Gen {
+        /// Tuples to generate.
+        n: usize,
+        /// Key distribution.
+        dist: KeyDistribution,
+        /// Seed.
+        seed: u64,
+        /// Destination path.
+        out: String,
+    },
+    /// `fpart partition`.
+    Partition {
+        /// Optional input file (overrides generation).
+        input: Option<String>,
+        /// Tuples to generate.
+        n: usize,
+        /// Key distribution.
+        dist: KeyDistribution,
+        /// Seed.
+        seed: u64,
+        /// Worker threads.
+        threads: usize,
+        /// Partition bits.
+        bits: u32,
+        /// cpu or fpga.
+        backend: Backend,
+        /// radix or murmur.
+        hash: bool,
+        /// FPGA mode pair.
+        mode: ModePair,
+    },
+    /// `fpart join`.
+    Join {
+        /// Table 4 workload.
+        workload: WorkloadId,
+        /// Fraction of paper size.
+        scale: f64,
+        /// cpu or hybrid.
+        backend: Backend,
+        /// Threads.
+        threads: usize,
+        /// Partition bits.
+        bits: u32,
+        /// Optional Zipf skew on S.
+        zipf: Option<f64>,
+        /// Seed.
+        seed: u64,
+    },
+    /// `fpart dist`.
+    Dist {
+        /// Cluster size (power of two).
+        nodes: usize,
+        /// Fraction of workload A.
+        scale: f64,
+        /// Local partition bits per node.
+        bits: u32,
+        /// Threads per local join.
+        threads: usize,
+        /// Seed.
+        seed: u64,
+        /// Use InfiniBand (true) or 10 GbE (false).
+        infiniband: bool,
+    },
+    /// `fpart select`.
+    Select {
+        /// Tuples to scan.
+        n: usize,
+        /// Selectivity target in percent.
+        pct: u64,
+        /// Seed.
+        seed: u64,
+    },
+    /// `fpart groupby`.
+    GroupBy {
+        /// Input rows.
+        n: usize,
+        /// Distinct keys.
+        groups: usize,
+        /// Zipf skew of the key stream.
+        zipf: f64,
+        /// Aggregating-cache bits (None = auto).
+        cache_bits: Option<u32>,
+        /// Seed.
+        seed: u64,
+    },
+    /// `fpart sort`.
+    Sort {
+        /// Tuples.
+        n: usize,
+        /// Distribution.
+        dist: KeyDistribution,
+        /// Seed.
+        seed: u64,
+        /// Threads.
+        threads: usize,
+        /// lsd or sample.
+        lsd: bool,
+    },
+    /// `fpart model`.
+    Model {
+        /// Tuples.
+        n: usize,
+        /// Mode pair.
+        mode: ModePair,
+        /// Optional flat link bandwidth.
+        gbps: Option<f64>,
+    },
+    /// `fpart help`.
+    Help,
+}
+
+/// Which engine executes a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Host CPU (measured).
+    Cpu,
+    /// Simulated circuit / hybrid join.
+    Fpga,
+}
+
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(argv: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {:?}", argv[i]))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{flag} needs a value"))?;
+            pairs.push((flag, value.as_str()));
+            i += 2;
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(f, _)| *f == name).map(|(_, v)| *v)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value {v:?}")),
+        }
+    }
+
+    fn unknown_check(&self, allowed: &[&str]) -> Result<(), String> {
+        for (f, _) in &self.pairs {
+            if !allowed.contains(f) {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_dist(v: Option<&str>) -> Result<KeyDistribution, String> {
+    Ok(match v.unwrap_or("random") {
+        "linear" => KeyDistribution::Linear,
+        "random" => KeyDistribution::Random,
+        "grid" => KeyDistribution::Grid,
+        "revgrid" | "rev-grid" => KeyDistribution::ReverseGrid,
+        other => return Err(format!("--dist: unknown distribution {other:?}")),
+    })
+}
+
+fn parse_mode(v: Option<&str>) -> Result<ModePair, String> {
+    Ok(match v.unwrap_or("pad/rid").to_ascii_lowercase().as_str() {
+        "hist/rid" => ModePair::HistRid,
+        "hist/vrid" => ModePair::HistVrid,
+        "pad/rid" => ModePair::PadRid,
+        "pad/vrid" => ModePair::PadVrid,
+        other => return Err(format!("--mode: unknown mode {other:?}")),
+    })
+}
+
+fn parse_backend(v: Option<&str>, default: Backend) -> Result<Backend, String> {
+    Ok(match v {
+        None => default,
+        Some("cpu") => Backend::Cpu,
+        Some("fpga") | Some("hybrid") => Backend::Fpga,
+        Some(other) => return Err(format!("--backend: unknown backend {other:?}")),
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Parse an argv (without the program name) into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("missing command".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => {
+            flags.unknown_check(&["n", "dist", "seed", "out"])?;
+            Ok(Command::Gen {
+                n: flags.num("n", 1_000_000)?,
+                dist: parse_dist(flags.get("dist"))?,
+                seed: flags.num("seed", 42)?,
+                out: flags
+                    .get("out")
+                    .ok_or_else(|| "gen requires --out <file>".to_string())?
+                    .to_string(),
+            })
+        }
+        "partition" => {
+            flags.unknown_check(&[
+                "n", "dist", "seed", "threads", "bits", "backend", "fn", "mode", "in",
+            ])?;
+            Ok(Command::Partition {
+                input: flags.get("in").map(str::to_string),
+                n: flags.num("n", 1_000_000)?,
+                dist: parse_dist(flags.get("dist"))?,
+                seed: flags.num("seed", 42)?,
+                threads: flags.num("threads", default_threads())?,
+                bits: flags.num("bits", 13)?,
+                backend: parse_backend(flags.get("backend"), Backend::Cpu)?,
+                hash: match flags.get("fn").unwrap_or("murmur") {
+                    "murmur" | "hash" => true,
+                    "radix" => false,
+                    other => return Err(format!("--fn: unknown function {other:?}")),
+                },
+                mode: parse_mode(flags.get("mode"))?,
+            })
+        }
+        "join" => {
+            flags.unknown_check(&[
+                "workload", "scale", "backend", "threads", "bits", "zipf", "seed",
+            ])?;
+            let workload = match flags.get("workload").unwrap_or("A") {
+                "A" | "a" => WorkloadId::A,
+                "B" | "b" => WorkloadId::B,
+                "C" | "c" => WorkloadId::C,
+                "D" | "d" => WorkloadId::D,
+                "E" | "e" => WorkloadId::E,
+                other => return Err(format!("--workload: unknown workload {other:?}")),
+            };
+            Ok(Command::Join {
+                workload,
+                scale: flags.num("scale", 0.01)?,
+                backend: parse_backend(flags.get("backend"), Backend::Cpu)?,
+                threads: flags.num("threads", default_threads())?,
+                bits: flags.num("bits", 13)?,
+                zipf: flags.get("zipf").map(|v| v.parse()).transpose().map_err(|_| "--zipf: bad value".to_string())?,
+                seed: flags.num("seed", 42)?,
+            })
+        }
+        "dist" => {
+            flags.unknown_check(&["nodes", "scale", "bits", "threads", "seed", "net"])?;
+            let nodes: usize = flags.num("nodes", 4)?;
+            if !nodes.is_power_of_two() {
+                return Err("--nodes must be a power of two".into());
+            }
+            Ok(Command::Dist {
+                nodes,
+                scale: flags.num("scale", 0.005)?,
+                bits: flags.num("bits", 8)?,
+                threads: flags.num("threads", default_threads())?,
+                seed: flags.num("seed", 42)?,
+                infiniband: match flags.get("net").unwrap_or("ib") {
+                    "ib" | "infiniband" => true,
+                    "10gbe" | "gbe" => false,
+                    other => return Err(format!("--net: unknown network {other:?}")),
+                },
+            })
+        }
+        "select" => {
+            flags.unknown_check(&["n", "pct", "seed"])?;
+            let pct: u64 = flags.num("pct", 25)?;
+            if pct > 100 {
+                return Err("--pct must be 0..=100".into());
+            }
+            Ok(Command::Select {
+                n: flags.num("n", 1_000_000)?,
+                pct,
+                seed: flags.num("seed", 42)?,
+            })
+        }
+        "groupby" => {
+            flags.unknown_check(&["n", "groups", "zipf", "cache-bits", "seed"])?;
+            Ok(Command::GroupBy {
+                n: flags.num("n", 1_000_000)?,
+                groups: flags.num("groups", 1000)?,
+                zipf: flags.num("zipf", 0.5)?,
+                cache_bits: flags
+                    .get("cache-bits")
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|_| "--cache-bits: bad value".to_string())?,
+                seed: flags.num("seed", 42)?,
+            })
+        }
+        "sort" => {
+            flags.unknown_check(&["n", "dist", "seed", "threads", "algo"])?;
+            Ok(Command::Sort {
+                n: flags.num("n", 1_000_000)?,
+                dist: parse_dist(flags.get("dist"))?,
+                seed: flags.num("seed", 42)?,
+                threads: flags.num("threads", default_threads())?,
+                lsd: match flags.get("algo").unwrap_or("lsd") {
+                    "lsd" | "radix" => true,
+                    "sample" => false,
+                    other => return Err(format!("--algo: unknown algorithm {other:?}")),
+                },
+            })
+        }
+        "model" => {
+            flags.unknown_check(&["n", "mode", "gbps"])?;
+            Ok(Command::Model {
+                n: flags.num("n", 128_000_000)?,
+                mode: parse_mode(flags.get("mode"))?,
+                gbps: flags
+                    .get("gbps")
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|_| "--gbps: bad value".to_string())?,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn partition_defaults() {
+        let cmd = parse(&argv("partition")).unwrap();
+        match cmd {
+            Command::Partition {
+                n,
+                bits,
+                backend,
+                hash,
+                mode,
+                ..
+            } => {
+                assert_eq!(n, 1_000_000);
+                assert_eq!(bits, 13);
+                assert_eq!(backend, Backend::Cpu);
+                assert!(hash);
+                assert_eq!(mode, ModePair::PadRid);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fpga_partition_with_mode() {
+        let cmd = parse(&argv(
+            "partition --backend fpga --mode hist/vrid --n 4096 --bits 6 --fn radix",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Partition {
+                backend,
+                mode,
+                hash,
+                n,
+                bits,
+                ..
+            } => {
+                assert_eq!(backend, Backend::Fpga);
+                assert_eq!(mode, ModePair::HistVrid);
+                assert!(!hash);
+                assert_eq!((n, bits), (4096, 6));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_with_zipf() {
+        let cmd = parse(&argv("join --workload E --zipf 1.25 --backend hybrid")).unwrap();
+        match cmd {
+            Command::Join {
+                workload,
+                zipf,
+                backend,
+                ..
+            } => {
+                assert_eq!(workload, WorkloadId::E);
+                assert_eq!(zipf, Some(1.25));
+                assert_eq!(backend, Backend::Fpga);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("partition --bogus 1")).is_err());
+        assert!(parse(&argv("partition --n")).is_err());
+        assert!(parse(&argv("partition --n abc")).is_err());
+        assert!(parse(&argv("join --workload Z")).is_err());
+        assert!(parse(&argv("partition --mode pad/xyz")).is_err());
+    }
+
+    #[test]
+    fn help_and_model() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        let cmd = parse(&argv("model --mode pad/vrid --gbps 25.6")).unwrap();
+        match cmd {
+            Command::Model { mode, gbps, n } => {
+                assert_eq!(mode, ModePair::PadVrid);
+                assert_eq!(gbps, Some(25.6));
+                assert_eq!(n, 128_000_000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_algorithms() {
+        assert!(matches!(
+            parse(&argv("sort --algo sample")).unwrap(),
+            Command::Sort { lsd: false, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("sort")).unwrap(),
+            Command::Sort { lsd: true, .. }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod dist_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn dist_defaults_and_flags() {
+        let cmd = parse(&argv("dist")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Dist {
+                nodes: 4,
+                infiniband: true,
+                ..
+            }
+        ));
+        let cmd = parse(&argv("dist --nodes 8 --net 10gbe --scale 0.01")).unwrap();
+        match cmd {
+            Command::Dist {
+                nodes,
+                infiniband,
+                scale,
+                ..
+            } => {
+                assert_eq!(nodes, 8);
+                assert!(!infiniband);
+                assert_eq!(scale, 0.01);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dist_rejects_bad_cluster() {
+        assert!(parse(&argv("dist --nodes 3")).is_err());
+        assert!(parse(&argv("dist --net token-ring")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod gen_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn gen_requires_out() {
+        assert!(parse(&argv("gen")).is_err());
+        let cmd = parse(&argv("gen --n 5 --out /tmp/x.fprt")).unwrap();
+        assert!(matches!(cmd, Command::Gen { n: 5, .. }));
+    }
+
+    #[test]
+    fn partition_accepts_input_file() {
+        let cmd = parse(&argv("partition --in /tmp/x.fprt --bits 6")).unwrap();
+        match cmd {
+            Command::Partition { input, bits, .. } => {
+                assert_eq!(input.as_deref(), Some("/tmp/x.fprt"));
+                assert_eq!(bits, 6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

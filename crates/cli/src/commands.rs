@@ -1,0 +1,382 @@
+//! Command execution.
+
+use std::time::Instant;
+
+use fpart::cpu::sort::{is_sorted_by_key, lsd_radix_sort, sample_sort};
+use fpart::prelude::*;
+use fpart_costmodel::{FpgaCostModel, ModePair};
+
+use crate::args::{Backend, Command, USAGE};
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Gen { n, dist, seed, out } => gen(n, dist, seed, &out),
+        Command::Partition {
+            input,
+            n,
+            dist,
+            seed,
+            threads,
+            bits,
+            backend,
+            hash,
+            mode,
+        } => partition(input, n, dist, seed, threads, bits, backend, hash, mode),
+        Command::Join {
+            workload,
+            scale,
+            backend,
+            threads,
+            bits,
+            zipf,
+            seed,
+        } => join(workload, scale, backend, threads, bits, zipf, seed),
+        Command::Sort {
+            n,
+            dist,
+            seed,
+            threads,
+            lsd,
+        } => sort(n, dist, seed, threads, lsd),
+        Command::Model { n, mode, gbps } => model(n, mode, gbps),
+        Command::Dist {
+            nodes,
+            scale,
+            bits,
+            threads,
+            seed,
+            infiniband,
+        } => dist(nodes, scale, bits, threads, seed, infiniband),
+        Command::Select { n, pct, seed } => select(n, pct, seed),
+        Command::GroupBy {
+            n,
+            groups,
+            zipf,
+            cache_bits,
+            seed,
+        } => groupby(n, groups, zipf, cache_bits, seed),
+    }
+}
+
+fn select(n: usize, pct: u64, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    use fpart::fpga::{FpgaSelector, Predicate};
+    let keys = KeyDistribution::Random.generate_keys::<u32>(n, seed);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let bound = ((u32::MAX as u64 - 1) * pct / 100) as u32;
+    let (out, report) = FpgaSelector::new().select(&rel, Predicate::LessThan(bound))?;
+    println!(
+        "selection (simulated @200MHz): scanned {n} tuples, {} matched ({:.1}% observed),          {:.1} Mtuples/s; {} lines read, {} written",
+        out.len(),
+        report.selectivity() * 100.0,
+        report.mtuples_per_sec(),
+        report.lines_read,
+        report.lines_written
+    );
+    Ok(())
+}
+
+fn groupby(
+    n: usize,
+    groups: usize,
+    zipf: f64,
+    cache_bits: Option<u32>,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use fpart::datagen::dist::zipf_foreign_keys;
+    use fpart::fpga::aggcache::{cache_bits_for_groups, fpga_group_by_harp};
+    let domain = KeyDistribution::Random.generate_keys::<u32>(groups, seed);
+    let keys = zipf_foreign_keys(&domain, n, zipf, seed ^ 0x11);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let bits = cache_bits.unwrap_or_else(|| cache_bits_for_groups(groups));
+    let (out, report) = fpga_group_by_harp(&rel, bits)?;
+    println!(
+        "fpga group-by (simulated, 2^{bits}-slot caches): {n} rows → {} groups,          {:.1} Mtuples/s; {:.1}% merged on-chip, {} victims evicted",
+        out.len(),
+        report.mtuples_per_sec(),
+        report.hit_rate() * 100.0,
+        report.evictions
+    );
+    let top = out.iter().max_by_key(|g| g.count).expect("non-empty");
+    println!("heaviest group: key {} with {} rows", top.key, top.count);
+    Ok(())
+}
+
+fn dist(
+    nodes: usize,
+    scale: f64,
+    bits: u32,
+    threads: usize,
+    seed: u64,
+    infiniband: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use fpart_net::{DistributedJoin, NetworkModel};
+    let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(scale, seed);
+    let mut join = DistributedJoin::new(nodes, bits);
+    join.threads = threads;
+    if !infiniband {
+        join.network = NetworkModel::ten_gbe();
+    }
+    println!(
+        "distributed join: {nodes} nodes over {}, |R| = {}, |S| = {}",
+        if infiniband { "FDR InfiniBand" } else { "10 GbE" },
+        r.len(),
+        s.len()
+    );
+    let (result, report) = join.execute(&r, &s)?;
+    println!(
+        "{} matches; node partitioning {:.5} s (sim) + exchange {:.5} s (model) + \
+         local joins {:.5} s (measured) = {:.5} s; {:.1} MB crossed the network",
+        result.matches,
+        report.partition_seconds,
+        report.exchange_seconds,
+        report.local_join_seconds,
+        report.total_seconds(),
+        report.network_bytes as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn partition_fn(hash: bool, bits: u32) -> PartitionFn {
+    if hash {
+        PartitionFn::Murmur { bits }
+    } else {
+        PartitionFn::Radix { bits }
+    }
+}
+
+fn gen(
+    n: usize,
+    dist: KeyDistribution,
+    seed: u64,
+    out: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let keys = dist.generate_keys::<u32>(n, seed);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    if out.ends_with(".csv") {
+        fpart_io::export_csv(&rel, out)?;
+    } else {
+        fpart_io::write_relation(&rel, out)?;
+    }
+    println!("wrote {n} {} tuples to {out}", dist.label());
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn partition(
+    input: Option<String>,
+    n: usize,
+    dist: KeyDistribution,
+    seed: u64,
+    threads: usize,
+    bits: u32,
+    backend: Backend,
+    hash: bool,
+    mode: ModePair,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let f = partition_fn(hash, bits);
+    let loaded: Relation<Tuple8>;
+    let keys: Vec<u32> = match &input {
+        Some(path) => {
+            loaded = if path.ends_with(".csv") {
+                fpart_io::import_csv(path)?
+            } else {
+                fpart_io::read_relation(path)?
+            };
+            println!(
+                "partitioning {} tuples from {path} into {} partitions with {}…",
+                loaded.len(),
+                f.fan_out(),
+                f.label()
+            );
+            loaded.tuples().iter().map(|t| t.key).collect()
+        }
+        None => {
+            println!(
+                "partitioning {n} {} tuples into {} partitions with {}…",
+                dist.label(),
+                f.fan_out(),
+                f.label()
+            );
+            dist.generate_keys::<u32>(n, seed)
+        }
+    };
+
+    match backend {
+        Backend::Cpu => {
+            let rel = Relation::<Tuple8>::from_keys(&keys);
+            let p = Partitioner::cpu(f, threads);
+            let (parts, stats) = p.partition(&rel)?;
+            println!(
+                "cpu ({threads} threads, measured): {:.1} Mtuples/s in {:.4} s",
+                stats.mtuples_per_sec(),
+                stats.seconds()
+            );
+            print_balance(parts.histogram());
+        }
+        Backend::Fpga => {
+            let (output, input) = match mode {
+                ModePair::HistRid => (OutputMode::Hist, InputMode::Rid),
+                ModePair::HistVrid => (OutputMode::Hist, InputMode::Vrid),
+                ModePair::PadRid => (OutputMode::pad_default(), InputMode::Rid),
+                ModePair::PadVrid => (OutputMode::pad_default(), InputMode::Vrid),
+            };
+            let config = PartitionerConfig {
+                partition_fn: f,
+                ..PartitionerConfig::paper_default(output, input)
+            };
+            let partitioner = FpgaPartitioner::new(config);
+            let t0 = Instant::now();
+            let (parts, report) = if input == InputMode::Vrid {
+                let col = ColumnRelation::<Tuple8>::from_keys(&keys);
+                partitioner.partition_columns(&col)?
+            } else {
+                let rel = Relation::<Tuple8>::from_keys(&keys);
+                partitioner.partition(&rel)?
+            };
+            println!(
+                "fpga {} (simulated @200MHz): {:.1} Mtuples/s in {:.4} s simulated \
+                 ({} cycles; simulator took {:.2} s wall)",
+                report.mode,
+                report.mtuples_per_sec(),
+                report.seconds(),
+                report.total_cycles(),
+                t0.elapsed().as_secs_f64()
+            );
+            println!(
+                "qpi: {} lines read, {} written, {} read-stall cycles; {} dummy slots; \
+                 {:.2} line-ops/cycle (stall-free ceiling: 2.00)",
+                report.qpi.lines_read,
+                report.qpi.lines_written,
+                report.qpi.read_stall_cycles,
+                report.padding_slots,
+                report.lines_per_cycle()
+            );
+            print_balance(parts.histogram());
+        }
+    }
+    Ok(())
+}
+
+fn print_balance(hist: &[usize]) {
+    let max = hist.iter().max().copied().unwrap_or(0);
+    let empty = hist.iter().filter(|&&h| h == 0).count();
+    let mean = hist.iter().sum::<usize>() as f64 / hist.len() as f64;
+    println!(
+        "balance: mean {mean:.1} tuples/partition, max {max}, {empty} empty of {}",
+        hist.len()
+    );
+}
+
+fn join(
+    workload: WorkloadId,
+    scale: f64,
+    backend: Backend,
+    threads: usize,
+    bits: u32,
+    zipf: Option<f64>,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = workload.spec();
+    let (r, s) = match zipf {
+        Some(z) => spec.skewed_row_relations::<Tuple8>(scale, z, seed),
+        None => spec.row_relations::<Tuple8>(scale, seed),
+    };
+    println!(
+        "{} at scale {scale}: |R| = {}, |S| = {}{}",
+        spec.name,
+        r.len(),
+        s.len(),
+        zipf.map(|z| format!(", zipf {z}")).unwrap_or_default()
+    );
+    let f = PartitionFn::Murmur { bits };
+    match backend {
+        Backend::Cpu => {
+            let (result, report) = CpuRadixJoin::new(f, threads).execute(&r, &s);
+            println!(
+                "cpu join: {} matches; partition {:.4} s + build+probe {:.4} s = {:.4} s \
+                 ({:.1} Mtuples/s)",
+                result.matches,
+                report.partition_time().as_secs_f64(),
+                report.build_probe.wall.as_secs_f64(),
+                report.total_time().as_secs_f64(),
+                report.mtuples_per_sec()
+            );
+        }
+        Backend::Fpga => {
+            let config = PartitionerConfig {
+                partition_fn: f,
+                ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Rid)
+            };
+            let (result, report) = HybridJoin::new(config, threads).execute(&r, &s)?;
+            println!(
+                "hybrid join: {} matches; FPGA partitioning {:.4} s (simulated) + \
+                 build+probe {:.4} s (measured){}",
+                result.matches,
+                report.fpga_partition_seconds(),
+                report.build_probe.wall.as_secs_f64(),
+                if report.any_fallback() {
+                    " [PAD overflow → fallback engaged]"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn sort(
+    n: usize,
+    dist: KeyDistribution,
+    seed: u64,
+    threads: usize,
+    lsd: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let keys = dist.generate_keys::<u32>(n, seed);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let t0 = Instant::now();
+    let sorted = if lsd {
+        lsd_radix_sort(&rel, threads)
+    } else {
+        sample_sort(&rel, 256)
+    };
+    let elapsed = t0.elapsed();
+    assert!(is_sorted_by_key(&sorted), "sort produced unsorted output");
+    println!(
+        "{} sort of {n} {} tuples: {:.4} s ({:.1} Mtuples/s), verified sorted",
+        if lsd { "LSD radix" } else { "sample" },
+        dist.label(),
+        elapsed.as_secs_f64(),
+        n as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    Ok(())
+}
+
+fn model(n: usize, mode: ModePair, gbps: Option<f64>) -> Result<(), Box<dyn std::error::Error>> {
+    let m = match gbps {
+        Some(g) => FpgaCostModel {
+            curve: fpart::memmodel::BandwidthCurve::new("flat", vec![(0.0, g), (1.0, g)]),
+            ..FpgaCostModel::paper()
+        },
+        None => FpgaCostModel::paper(),
+    };
+    println!(
+        "Section 4.6 model, {} of {n} 8B tuples{}:",
+        mode.label(),
+        gbps.map(|g| format!(" at a flat {g} GB/s link"))
+            .unwrap_or_else(|| " on the HARP QPI link".into())
+    );
+    println!(
+        "  P_FPGA = {:.0} Mt/s   P_mem = {:.0} Mt/s   P_total = {:.0} Mt/s   time = {:.4} s",
+        m.p_fpga(n as u64, 8, mode) / 1e6,
+        m.p_mem(8, mode) / 1e6,
+        m.p_total(n as u64, 8, mode) / 1e6,
+        m.partition_seconds(n as u64, 8, mode)
+    );
+    Ok(())
+}

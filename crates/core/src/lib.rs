@@ -1,0 +1,78 @@
+//! # fpart — FPGA-based Data Partitioning, reproduced in Rust
+//!
+//! A full reproduction of Kara, Giceva & Alonso, *"FPGA-based Data
+//! Partitioning"*, SIGMOD 2017: the fully pipelined FPGA partitioner
+//! circuit (as a cycle-level simulation), the state-of-the-art CPU
+//! partitioning baseline, the hybrid CPU+FPGA radix hash join, the
+//! paper's analytical cost models, and a benchmark harness that
+//! regenerates every table and figure of the evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fpart::prelude::*;
+//!
+//! // A relation of 100k <4B key, 4B payload> tuples, uniform random keys.
+//! let keys = KeyDistribution::Random.generate_keys::<u32>(100_000, 42);
+//! let rel = Relation::<Tuple8>::from_keys(&keys);
+//!
+//! // Partition it 256 ways with murmur hashing on the simulated FPGA…
+//! let fpga = Partitioner::fpga(PartitionFn::Murmur { bits: 8 });
+//! let (parts, stats) = fpga.partition(&rel).unwrap();
+//! assert_eq!(parts.total_valid(), 100_000);
+//! println!("simulated FPGA: {:.0} Mtuples/s", stats.mtuples_per_sec());
+//!
+//! // …and on the CPU with the SWWCB baseline.
+//! let cpu = Partitioner::cpu(PartitionFn::Murmur { bits: 8 }, 2);
+//! let (parts2, _) = cpu.partition(&rel).unwrap();
+//! assert_eq!(parts.histogram(), parts2.histogram());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | tuples, cache lines, relations, partitioned outputs |
+//! | [`hash`] | murmur3 finalizers, radix extraction, [`PartitionFn`](fpart_hash::PartitionFn) |
+//! | [`datagen`] | the paper's key distributions and Table 4 workloads |
+//! | [`memmodel`] | Figure 2 bandwidth curves, Table 1 coherence model |
+//! | [`hwsim`] | FIFOs, BRAMs, QPI endpoint, page table |
+//! | [`fpga`] | the partitioner circuit (Section 4) |
+//! | [`cpu`] | SWWCB / scalar / two-pass CPU partitioning (Section 3) |
+//! | [`join`] | radix hash join, hybrid join, aggregation (Section 5) |
+//! | [`costmodel`] | Section 4.6 model + calibrated CPU/join models |
+//! | [`net`] | rack-scale distributed join (the paper's future use case 2) |
+
+#![warn(missing_docs)]
+
+pub use fpart_costmodel as costmodel;
+pub use fpart_cpu as cpu;
+pub use fpart_datagen as datagen;
+pub use fpart_fpga as fpga;
+pub use fpart_hash as hash;
+pub use fpart_hwsim as hwsim;
+pub use fpart_io as io;
+pub use fpart_join as join;
+pub use fpart_memmodel as memmodel;
+pub use fpart_net as net;
+pub use fpart_types as types;
+
+mod partitioner;
+
+pub use partitioner::{Partitioner, PartitionStats};
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::partitioner::{Partitioner, PartitionStats};
+    pub use fpart_cpu::{CpuPartitioner, Strategy};
+    pub use fpart_datagen::{KeyDistribution, Workload, WorkloadId};
+    pub use fpart_fpga::{
+        FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig,
+    };
+    pub use fpart_hash::PartitionFn;
+    pub use fpart_join::{CpuRadixJoin, HybridJoin};
+    pub use fpart_types::{
+        ColumnRelation, FpartError, PartitionedRelation, Relation, Tuple, Tuple16, Tuple32,
+        Tuple64, Tuple8,
+    };
+}

@@ -1,0 +1,173 @@
+//! The unified partitioner front-end: one API over the CPU baseline and
+//! the simulated FPGA circuit, so applications (and the join) can switch
+//! back-ends with a constructor call — the way the paper's hybrid
+//! operator treats partitioning as a pluggable sub-operator.
+
+use std::time::Duration;
+
+use fpart_cpu::{CpuPartitioner, Strategy};
+use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig};
+use fpart_hash::PartitionFn;
+use fpart_types::{PartitionedRelation, Relation, Result, Tuple};
+
+/// How long a partitioning run took, in the back-end's own time domain.
+#[derive(Debug, Clone)]
+pub enum PartitionStats {
+    /// CPU back-end: measured wall-clock on this host.
+    Cpu(fpart_cpu::CpuRunReport),
+    /// FPGA back-end: simulated time at the circuit clock under the
+    /// calibrated QPI model.
+    Fpga(fpart_fpga::RunReport),
+}
+
+impl PartitionStats {
+    /// Seconds (measured for CPU, simulated for FPGA).
+    pub fn seconds(&self) -> f64 {
+        match self {
+            Self::Cpu(r) => r.total_time().as_secs_f64(),
+            Self::Fpga(r) => r.seconds(),
+        }
+    }
+
+    /// Throughput in million tuples per second.
+    pub fn mtuples_per_sec(&self) -> f64 {
+        match self {
+            Self::Cpu(r) => r.mtuples_per_sec(),
+            Self::Fpga(r) => r.mtuples_per_sec(),
+        }
+    }
+
+    /// Tuples partitioned.
+    pub fn tuples(&self) -> u64 {
+        match self {
+            Self::Cpu(r) => r.tuples,
+            Self::Fpga(r) => r.tuples,
+        }
+    }
+
+    /// Measured wall time if this was a CPU run.
+    pub fn wall_time(&self) -> Option<Duration> {
+        match self {
+            Self::Cpu(r) => Some(r.total_time()),
+            Self::Fpga(_) => None,
+        }
+    }
+}
+
+/// A partitioner with a selected back-end.
+#[derive(Debug, Clone)]
+pub enum Partitioner {
+    /// Software partitioning on host threads.
+    Cpu(CpuPartitioner),
+    /// The simulated circuit.
+    Fpga(FpgaPartitioner),
+}
+
+impl Partitioner {
+    /// The paper's CPU baseline (SWWCB + non-temporal stores).
+    pub fn cpu(partition_fn: PartitionFn, threads: usize) -> Self {
+        Self::Cpu(CpuPartitioner::new(partition_fn, threads))
+    }
+
+    /// A CPU partitioner with an explicit strategy.
+    pub fn cpu_with_strategy(partition_fn: PartitionFn, threads: usize, strategy: Strategy) -> Self {
+        Self::Cpu(CpuPartitioner::new(partition_fn, threads).with_strategy(strategy))
+    }
+
+    /// The simulated FPGA in its fastest row-store mode (PAD/RID).
+    pub fn fpga(partition_fn: PartitionFn) -> Self {
+        Self::fpga_with_modes(partition_fn, OutputMode::pad_default(), InputMode::Rid)
+    }
+
+    /// The simulated FPGA with explicit output/input modes.
+    pub fn fpga_with_modes(
+        partition_fn: PartitionFn,
+        output: OutputMode,
+        input: InputMode,
+    ) -> Self {
+        let config = PartitionerConfig {
+            partition_fn,
+            output,
+            input,
+            ..PartitionerConfig::paper_default(output, input)
+        };
+        Self::Fpga(FpgaPartitioner::new(config))
+    }
+
+    /// The partition function in effect.
+    pub fn partition_fn(&self) -> PartitionFn {
+        match self {
+            Self::Cpu(p) => p.partition_fn,
+            Self::Fpga(p) => p.config().partition_fn,
+        }
+    }
+
+    /// Partition a row-store relation.
+    ///
+    /// # Errors
+    /// FPGA PAD mode can overflow under skew
+    /// ([`fpart_types::FpartError::PartitionOverflow`]); callers fall back
+    /// to HIST mode or the CPU back-end (see
+    /// [`fpart_join::hybrid::FallbackPolicy`] for the join's handling).
+    pub fn partition<T: Tuple>(
+        &self,
+        rel: &Relation<T>,
+    ) -> Result<(PartitionedRelation<T>, PartitionStats)> {
+        match self {
+            Self::Cpu(p) => {
+                let (parts, report) = p.partition(rel);
+                Ok((parts, PartitionStats::Cpu(report)))
+            }
+            Self::Fpga(p) => {
+                let (parts, report) = p.partition(rel)?;
+                Ok((parts, PartitionStats::Fpga(report)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::KeyDistribution;
+    use fpart_types::Tuple8;
+
+    fn rel() -> Relation<Tuple8> {
+        Relation::from_keys(&KeyDistribution::Random.generate_keys(4000, 8))
+    }
+
+    #[test]
+    fn backends_agree_on_histograms() {
+        let f = PartitionFn::Murmur { bits: 5 };
+        let r = rel();
+        let (cpu_parts, cpu_stats) = Partitioner::cpu(f, 2).partition(&r).unwrap();
+        let (fpga_parts, fpga_stats) = Partitioner::fpga(f).partition(&r).unwrap();
+        assert_eq!(cpu_parts.histogram(), fpga_parts.histogram());
+        assert!(cpu_stats.wall_time().is_some());
+        assert!(fpga_stats.wall_time().is_none());
+        assert_eq!(cpu_stats.tuples(), fpga_stats.tuples());
+        assert!(fpga_stats.seconds() > 0.0);
+    }
+
+    #[test]
+    fn strategy_override() {
+        let f = PartitionFn::Radix { bits: 4 };
+        let r = rel();
+        let p = Partitioner::cpu_with_strategy(f, 1, Strategy::Scalar);
+        let (parts, _) = p.partition(&r).unwrap();
+        assert_eq!(parts.total_valid(), 4000);
+        assert_eq!(p.partition_fn(), f);
+    }
+
+    #[test]
+    fn fpga_hist_mode_via_front_end() {
+        let f = PartitionFn::Murmur { bits: 4 };
+        let p = Partitioner::fpga_with_modes(f, OutputMode::Hist, InputMode::Rid);
+        let (parts, stats) = p.partition(&rel()).unwrap();
+        assert_eq!(parts.total_valid(), 4000);
+        match stats {
+            PartitionStats::Fpga(r) => assert!(r.hist_cycles > 0),
+            other => panic!("expected FPGA stats, got {other:?}"),
+        }
+    }
+}

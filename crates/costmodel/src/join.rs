@@ -1,0 +1,211 @@
+//! Calibrated model of the build+probe phase and full-join compositions.
+//!
+//! Calibration anchors:
+//! * Section 5.2: 10-thread CPU join on workload A at 8192 partitions runs
+//!   at 436 M tuples/s over |R|+|S| = 256 M ⇒ 0.587 s total; partitioning
+//!   both relations at 506 M tuples/s takes 0.506 s, leaving ≈0.08 s for
+//!   build+probe ⇒ ≈9 cycles/tuple at 2.8 GHz × 10 threads. We split that
+//!   as 10 build + 8 probe cycles.
+//! * Figure 10: shrinking the partition count below the cache-fitting
+//!   point inflates build+probe — modelled as a logarithmic penalty in
+//!   how far a partition overshoots the effective cache budget.
+//! * Table 1 / Section 2.2: after FPGA partitioning, CPU reads of the
+//!   partitions are snooped on the FPGA socket. The probe phase's random
+//!   access bears the 2.16× random-read multiplier on its memory-bound
+//!   share; the build's sequential scan bears 1.11×. With roughly half
+//!   the probe cycles being memory stalls, the net effect is the ≈1.3–1.6×
+//!   build+probe inflation visible in Figures 10–12.
+//! * Figure 13: a Zipf-skewed probe relation concentrates work in few
+//!   partitions; threads cannot split one partition, so the phase time is
+//!   `max(even share, heaviest partition)`.
+
+use fpart_memmodel::{CoherencePenalty, PlatformSpec};
+
+/// Build+probe cycle costs and cache-fit modelling.
+#[derive(Debug, Clone)]
+pub struct JoinCostModel {
+    /// Platform constants.
+    pub platform: PlatformSpec,
+    /// Cycles per build tuple when the partition fits in cache.
+    pub build_cycles: f64,
+    /// Cycles per probe tuple when the partition fits in cache.
+    pub probe_cycles: f64,
+    /// Fraction of probe cycles that are memory stalls (exposed to the
+    /// coherence penalty).
+    pub probe_mem_fraction: f64,
+    /// Fraction of build cycles that are memory stalls.
+    pub build_mem_fraction: f64,
+    /// Effective per-core cache budget a partition should fit into
+    /// (≈ L2 + L3 share of the 10-core Xeon).
+    pub cache_budget_bytes: f64,
+}
+
+impl JoinCostModel {
+    /// The paper's Xeon, calibrated per the module header.
+    pub fn paper() -> Self {
+        Self {
+            platform: PlatformSpec::harp_v1(),
+            build_cycles: 10.0,
+            probe_cycles: 8.0,
+            probe_mem_fraction: 0.5,
+            build_mem_fraction: 0.3,
+            // Between L2 (256 KB) and the per-core L3 share; set so that
+            // workload A's 125 KB partitions fit cleanly (penalty 1 at
+            // 8192 partitions) while the 2× partitions radix leaves on
+            // grid keys (workload D) pay the ≈11 % the paper measures.
+            cache_budget_bytes: 192.0 * 1024.0,
+        }
+    }
+
+    /// Cache-overshoot multiplier for a partition of `partition_bytes`.
+    pub fn cache_penalty(&self, partition_bytes: f64) -> f64 {
+        if partition_bytes <= self.cache_budget_bytes {
+            1.0
+        } else {
+            1.0 + 0.35 * (partition_bytes / self.cache_budget_bytes).log2()
+        }
+    }
+
+    /// Coherence multipliers applied to the memory-bound share when the
+    /// partitions were written by the FPGA socket: `(build, probe)`.
+    pub fn coherence_multipliers(&self) -> (f64, f64) {
+        let p = CoherencePenalty::TABLE1;
+        let build = 1.0 + self.build_mem_fraction * (p.sequential_multiplier() - 1.0);
+        let probe = 1.0 + self.probe_mem_fraction * (p.random_multiplier() - 1.0);
+        (build, probe)
+    }
+
+    /// Build+probe seconds for uniform partitions.
+    ///
+    /// `fpga_partitioned` applies the Section 2.2 coherence penalty.
+    pub fn build_probe_seconds(
+        &self,
+        r_tuples: u64,
+        s_tuples: u64,
+        partitions: usize,
+        tuple_width: usize,
+        threads: usize,
+        fpga_partitioned: bool,
+    ) -> f64 {
+        let part_bytes = (r_tuples as f64 / partitions as f64) * tuple_width as f64;
+        let penalty = self.cache_penalty(part_bytes);
+        let (build_coh, probe_coh) = if fpga_partitioned {
+            self.coherence_multipliers()
+        } else {
+            (1.0, 1.0)
+        };
+        let cycles = r_tuples as f64 * self.build_cycles * penalty * build_coh
+            + s_tuples as f64 * self.probe_cycles * penalty * probe_coh;
+        cycles / (self.platform.cpu_hz * threads as f64)
+    }
+
+    /// Build+probe seconds from explicit per-partition loads (used for
+    /// skew: Figure 13). Thread-level parallelism cannot split a
+    /// partition, so the wall time is `max(total/threads, heaviest)`.
+    pub fn build_probe_seconds_skewed(
+        &self,
+        r_hist: &[u64],
+        s_hist: &[u64],
+        tuple_width: usize,
+        threads: usize,
+        fpga_partitioned: bool,
+    ) -> f64 {
+        assert_eq!(r_hist.len(), s_hist.len());
+        let (build_coh, probe_coh) = if fpga_partitioned {
+            self.coherence_multipliers()
+        } else {
+            (1.0, 1.0)
+        };
+        let mut total = 0.0f64;
+        let mut heaviest = 0.0f64;
+        for (&r, &s) in r_hist.iter().zip(s_hist) {
+            let part_bytes = r as f64 * tuple_width as f64;
+            let penalty = self.cache_penalty(part_bytes);
+            let cycles = r as f64 * self.build_cycles * penalty * build_coh
+                + s as f64 * self.probe_cycles * penalty * probe_coh;
+            total += cycles;
+            heaviest = heaviest.max(cycles);
+        }
+        (total / threads as f64).max(heaviest) / self.platform.cpu_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: u64 = 128_000_000;
+    const S: u64 = 128_000_000;
+
+    /// The Section 5.2 anchor: CPU join ≈ 436 M tuples/s at 10 threads /
+    /// 8192 partitions (partitioning 0.506 s + build+probe ≈ 0.082 s).
+    #[test]
+    fn workload_a_total_matches_section_5_2() {
+        let m = JoinCostModel::paper();
+        let bp = m.build_probe_seconds(R, S, 8192, 8, 10, false);
+        assert!((bp - 0.082).abs() < 0.01, "build+probe {bp:.3}s");
+        let partition = (R + S) as f64 / 506e6;
+        let total = partition + bp;
+        let throughput = (R + S) as f64 / total / 1e6;
+        assert!((throughput - 436.0).abs() < 10.0, "{throughput:.0} Mtuples/s");
+    }
+
+    /// Figure 10's shape: fewer partitions → slower build+probe; at 8192
+    /// the partition fits the cache budget and the penalty is 1.
+    #[test]
+    fn partition_count_effect() {
+        let m = JoinCostModel::paper();
+        // 128 M × 8 B / 8192 = 125 KB < 256 KB budget.
+        assert_eq!(m.cache_penalty(R as f64 * 8.0 / 8192.0), 1.0);
+        let mut prev = f64::INFINITY;
+        for parts in [256usize, 512, 1024, 2048, 4096, 8192] {
+            let bp = m.build_probe_seconds(R, S, parts, 8, 1, false);
+            // Non-increasing; flat once partitions fit the cache budget
+            // (both 4096 and 8192 fit for workload A).
+            assert!(bp <= prev, "more partitions must not slow build+probe");
+            prev = bp;
+        }
+        // 256 partitions: 4 MB partitions, penalty ≈ 2.5.
+        let penalty = m.cache_penalty(4.0 * 1024.0 * 1024.0);
+        assert!((penalty - 2.54).abs() < 0.1, "{penalty}");
+    }
+
+    /// The hybrid join's build+probe is visibly slower (Figures 10–12).
+    #[test]
+    fn coherence_penalty_inflates_hybrid_build_probe() {
+        let m = JoinCostModel::paper();
+        let cpu = m.build_probe_seconds(R, S, 8192, 8, 10, false);
+        let hybrid = m.build_probe_seconds(R, S, 8192, 8, 10, true);
+        let ratio = hybrid / cpu;
+        assert!(
+            (1.25..1.6).contains(&ratio),
+            "hybrid/CPU build+probe ratio {ratio:.2}"
+        );
+        let (b, p) = m.coherence_multipliers();
+        assert!((b - 1.033).abs() < 0.01);
+        assert!((p - 1.578).abs() < 0.01);
+    }
+
+    /// Skew model: a single dominant partition caps thread scaling.
+    #[test]
+    fn skew_limits_parallelism() {
+        let m = JoinCostModel::paper();
+        let balanced = vec![1000u64; 64];
+        let t_bal = m.build_probe_seconds_skewed(&balanced, &balanced, 8, 8, false);
+        let mut skewed = vec![100u64; 64];
+        skewed[0] = 57_600; // same total probe volume, one hot partition
+        let t_skew = m.build_probe_seconds_skewed(&balanced, &skewed, 8, 8, false);
+        assert!(
+            t_skew > 3.0 * t_bal,
+            "hot partition should dominate: {t_skew:.2e} vs {t_bal:.2e}"
+        );
+    }
+
+    #[test]
+    fn threads_divide_balanced_work() {
+        let m = JoinCostModel::paper();
+        let t1 = m.build_probe_seconds(R, S, 8192, 8, 1, false);
+        let t10 = m.build_probe_seconds(R, S, 8192, 8, 10, false);
+        assert!((t1 / t10 - 10.0).abs() < 1e-6);
+    }
+}

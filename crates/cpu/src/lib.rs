@@ -1,0 +1,43 @@
+//! # fpart-cpu
+//!
+//! The software side of the paper's comparison (Section 3): CPU-based data
+//! partitioning as tuned by a decade of main-memory join work.
+//!
+//! The paper uses "the open-sourced implementation from Balkesen et al. as
+//! the software baseline … a single-pass partitioning with software-managed
+//! buffers and non-temporal writes enabled". This crate provides that
+//! algorithm plus the baselines it superseded, so the ablation benches can
+//! retrace the lineage:
+//!
+//! * [`strategy::Strategy::Scalar`] — Code 1: direct scatter, one random
+//!   cache-line touch per tuple;
+//! * [`strategy::Strategy::TwoPass`] — Manegold et al.: multi-pass
+//!   partitioning with bounded per-pass fan-out to limit TLB misses;
+//! * [`strategy::Strategy::Swwcb`] — Code 2: single-pass with
+//!   cache-resident write-combining buffers, optionally flushed with
+//!   non-temporal SIMD stores (Wassenberg & Sanders);
+//!
+//! all driven multi-threaded by [`parallel`]: per-thread histograms and a
+//! global prefix sum give every thread private output extents, removing
+//! synchronisation from the scatter ("the partitioning algorithm for the
+//! CPU builds the histogram out of necessity, in order to remove
+//! synchronization between multiple threads", Section 4.7).
+//!
+//! On top of the partitioners sit two applications from the surrounding
+//! literature: [`range`] (the partitioning type Wu et al.'s ASIC
+//! accelerates) and [`sort`] (LSD radix sort and sample sort — the
+//! paper's baseline descends from radix-sort work).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod nt_store;
+pub mod parallel;
+pub mod range;
+pub mod sort;
+pub mod strategy;
+pub mod swwcb;
+
+pub use parallel::{CpuPartitioner, CpuRunReport};
+pub use range::{range_partition, range_partition_parallel, RangeSplitters};
+pub use strategy::Strategy;

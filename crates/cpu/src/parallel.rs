@@ -1,0 +1,399 @@
+//! The multi-threaded CPU partitioner.
+//!
+//! Parallelisation follows Balkesen et al. (Section 4.7 of the paper):
+//!
+//! 1. each thread scans a contiguous chunk of the input and builds a
+//!    private histogram;
+//! 2. a global prefix sum over the per-thread histograms assigns every
+//!    thread a private extent inside every partition — "so that each
+//!    thread accesses a specific part of memory while writing out the
+//!    partitions", removing all synchronisation from the scatter;
+//! 3. each thread re-scans its chunk and scatters through its
+//!    write-combining buffers.
+
+use std::time::{Duration, Instant};
+
+use fpart_hash::PartitionFn;
+use fpart_types::{PartitionedRelation, Relation, SharedWriter, Tuple};
+
+use crate::histogram;
+use crate::strategy::Strategy;
+use crate::swwcb::{scatter_scalar, Swwcb};
+
+/// A configured CPU partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use fpart_cpu::CpuPartitioner;
+/// use fpart_hash::PartitionFn;
+/// use fpart_types::{Relation, Tuple8};
+///
+/// let rel = Relation::<Tuple8>::from_keys(&(1..=1000u32).collect::<Vec<_>>());
+/// let partitioner = CpuPartitioner::new(PartitionFn::Murmur { bits: 4 }, 2);
+/// let (parts, report) = partitioner.partition(&rel);
+/// assert_eq!(parts.total_valid(), 1000);
+/// assert_eq!(report.passes, 2); // histogram + scatter
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuPartitioner {
+    /// Radix or hash partitioning (Section 3.2's trade-off).
+    pub partition_fn: PartitionFn,
+    /// Worker threads for histogram and scatter passes.
+    pub threads: usize,
+    /// Scatter strategy.
+    pub strategy: Strategy,
+}
+
+/// Timing and volume report of a CPU partitioning run.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuRunReport {
+    /// Tuples partitioned.
+    pub tuples: u64,
+    /// Threads used.
+    pub threads: usize,
+    /// Wall time of the histogram pass.
+    pub hist_time: Duration,
+    /// Wall time of the scatter pass(es).
+    pub scatter_time: Duration,
+    /// Data passes over the input (histogram + scatters).
+    pub passes: usize,
+}
+
+impl CpuRunReport {
+    /// Total wall time.
+    pub fn total_time(&self) -> Duration {
+        self.hist_time + self.scatter_time
+    }
+
+    /// Throughput in million tuples per second (end to end).
+    pub fn mtuples_per_sec(&self) -> f64 {
+        self.tuples as f64 / self.total_time().as_secs_f64() / 1e6
+    }
+}
+
+impl CpuPartitioner {
+    /// The paper's software baseline at a given thread count: murmur or
+    /// radix via `partition_fn`, single-pass SWWCB with non-temporal
+    /// stores.
+    pub fn new(partition_fn: PartitionFn, threads: usize) -> Self {
+        Self {
+            partition_fn,
+            threads: threads.max(1),
+            strategy: Strategy::PAPER_BASELINE,
+        }
+    }
+
+    /// Override the scatter strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Partition a relation. Output extents are tuple-exact (no padding).
+    pub fn partition<T: Tuple>(&self, rel: &Relation<T>) -> (PartitionedRelation<T>, CpuRunReport) {
+        match self.strategy {
+            Strategy::TwoPass { first_bits } => self.partition_two_pass(rel, first_bits),
+            _ => self.partition_single_pass(rel),
+        }
+    }
+
+    fn partition_single_pass<T: Tuple>(
+        &self,
+        rel: &Relation<T>,
+    ) -> (PartitionedRelation<T>, CpuRunReport) {
+        let f = self.partition_fn;
+        let tuples = rel.tuples();
+        let threads = self.threads.min(tuples.len()).max(1);
+        let chunks: Vec<&[T]> = chunk_evenly(tuples, threads);
+
+        // Pass 1: per-thread histograms.
+        let t0 = Instant::now();
+        let thread_hists: Vec<Vec<usize>> = if threads == 1 {
+            vec![histogram::build(chunks[0], f)]
+        } else {
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| s.spawn(move |_| histogram::build(chunk, f)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("histogram worker")).collect()
+            })
+            .expect("histogram scope")
+        };
+        let hist_time = t0.elapsed();
+
+        let (global, bases) = histogram::thread_bases(&thread_hists);
+        let mut out = PartitionedRelation::<T>::with_histogram(&global, false);
+
+        // Pass 2: scatter into disjoint extents.
+        let t1 = Instant::now();
+        {
+            let writer = SharedWriter::new(&mut out);
+            let writer_ref = &writer;
+            let scatter = |chunk: &[T], bases: Vec<usize>| match self.strategy {
+                Strategy::Scalar => {
+                    // SAFETY: per-thread extents are disjoint by
+                    // construction of `thread_bases`.
+                    unsafe { scatter_scalar(chunk, f, &bases, writer_ref) }
+                }
+                Strategy::Swwcb { non_temporal } => {
+                    let mut wc = Swwcb::new(bases, non_temporal);
+                    for &t in chunk {
+                        // SAFETY: as above.
+                        unsafe { wc.push(f.partition_of(t.key()), t, writer_ref) };
+                    }
+                    // SAFETY: as above.
+                    unsafe { wc.drain(writer_ref) };
+                }
+                Strategy::TwoPass { .. } => unreachable!("dispatched separately"),
+            };
+            if threads == 1 {
+                scatter(chunks[0], bases[0].clone());
+            } else {
+                crossbeam::thread::scope(|s| {
+                    for (chunk, b) in chunks.iter().zip(bases) {
+                        let scatter = &scatter;
+                        s.spawn(move |_| scatter(chunk, b));
+                    }
+                })
+                .expect("scatter scope");
+            }
+        }
+        let scatter_time = t1.elapsed();
+
+        for (p, &count) in global.iter().enumerate() {
+            out.set_partition_fill(p, count, count);
+        }
+        let report = CpuRunReport {
+            tuples: tuples.len() as u64,
+            threads,
+            hist_time,
+            scatter_time,
+            passes: 2,
+        };
+        (out, report)
+    }
+
+    /// Manegold-style two-pass partitioning (single-threaded): pass 1
+    /// splits by the high `first_bits` of the partition id, pass 2 refines
+    /// each bucket by the remaining bits. The final tuple order is exactly
+    /// the partition-id order, so the output is indistinguishable from a
+    /// (stable) single-pass run.
+    fn partition_two_pass<T: Tuple>(
+        &self,
+        rel: &Relation<T>,
+        first_bits: u32,
+    ) -> (PartitionedRelation<T>, CpuRunReport) {
+        let f = self.partition_fn;
+        let total_bits = f.bits();
+        assert!(
+            (1..total_bits).contains(&first_bits),
+            "first pass must resolve between 1 and bits-1 bits"
+        );
+        let second_bits = total_bits - first_bits;
+        let tuples = rel.tuples();
+
+        // Pass 1: histogram + scatter on the high bits.
+        let t0 = Instant::now();
+        let mut hist1 = vec![0usize; 1 << first_bits];
+        for t in tuples {
+            hist1[f.partition_of(t.key()) >> second_bits] += 1;
+        }
+        let hist_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let base1 = histogram::prefix_sum(&hist1);
+        let mut staging: Vec<T> = vec![T::dummy(); tuples.len()];
+        let mut cursors = base1[..hist1.len()].to_vec();
+        for &t in tuples {
+            let b = f.partition_of(t.key()) >> second_bits;
+            staging[cursors[b]] = t;
+            cursors[b] += 1;
+        }
+
+        // Pass 2: inside each bucket, histogram + scatter on the low bits.
+        let mut global = vec![0usize; f.fan_out()];
+        for (b, win) in base1.windows(2).enumerate() {
+            let bucket = &staging[win[0]..win[1]];
+            for t in bucket {
+                debug_assert_eq!(f.partition_of(t.key()) >> second_bits, b);
+                global[f.partition_of(t.key())] += 1;
+            }
+        }
+        let mut out = PartitionedRelation::<T>::with_histogram(&global, false);
+        {
+            let writer = SharedWriter::new(&mut out);
+            let part_base = histogram::prefix_sum(&global);
+            let mut cursors = part_base[..global.len()].to_vec();
+            for win in base1.windows(2) {
+                for &t in &staging[win[0]..win[1]] {
+                    let p = f.partition_of(t.key());
+                    // SAFETY: single-threaded; cursors stay within the
+                    // exact extents.
+                    unsafe { writer.write(cursors[p], t) };
+                    cursors[p] += 1;
+                }
+            }
+        }
+        let scatter_time = t1.elapsed();
+
+        for (p, &count) in global.iter().enumerate() {
+            out.set_partition_fill(p, count, count);
+        }
+        let report = CpuRunReport {
+            tuples: tuples.len() as u64,
+            threads: 1,
+            hist_time,
+            scatter_time,
+            passes: 1 + 2 * self.strategy.scatter_passes(),
+        };
+        (out, report)
+    }
+}
+
+/// Split a slice into `n` contiguous chunks whose lengths differ by at
+/// most one.
+fn chunk_evenly<T>(slice: &[T], n: usize) -> Vec<&[T]> {
+    let len = slice.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut chunks = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        chunks.push(&slice[start..start + size]);
+        start += size;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::KeyDistribution;
+    use fpart_types::relation::content_checksum;
+    use fpart_types::Tuple8;
+
+    fn rel(n: usize, dist: KeyDistribution) -> Relation<Tuple8> {
+        Relation::from_keys(&dist.generate_keys::<u32>(n, 99))
+    }
+
+    fn check<T: Tuple>(rel: &Relation<T>, out: &PartitionedRelation<T>, f: PartitionFn) {
+        assert_eq!(out.total_valid(), rel.len());
+        assert_eq!(out.padding_overhead(), 0, "CPU output is tuple-exact");
+        for p in 0..out.num_partitions() {
+            for t in out.partition_tuples(p) {
+                assert_eq!(f.partition_of(t.key()), p);
+            }
+        }
+        assert_eq!(
+            content_checksum(rel.tuples().iter().copied()),
+            content_checksum(out.all_tuples())
+        );
+    }
+
+    #[test]
+    fn single_threaded_swwcb() {
+        let r = rel(10_000, KeyDistribution::Random);
+        let p = CpuPartitioner::new(PartitionFn::Murmur { bits: 7 }, 1);
+        let (out, report) = p.partition(&r);
+        check(&r, &out, p.partition_fn);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.passes, 2);
+        assert!(report.mtuples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn multi_threaded_matches_single_threaded() {
+        let r = rel(20_000, KeyDistribution::Grid);
+        let f = PartitionFn::Murmur { bits: 6 };
+        let single = CpuPartitioner::new(f, 1).partition(&r).0;
+        let multi = CpuPartitioner::new(f, 4).partition(&r).0;
+        assert_eq!(single.histogram(), multi.histogram());
+        // Same multiset per partition (thread interleaving differs only in
+        // intra-partition order when chunks differ — with thread-ordered
+        // extents the full layout is actually identical).
+        assert_eq!(single.raw_data(), multi.raw_data());
+    }
+
+    #[test]
+    fn scalar_strategy_matches_swwcb() {
+        let r = rel(5000, KeyDistribution::Linear);
+        let f = PartitionFn::Radix { bits: 5 };
+        let a = CpuPartitioner::new(f, 2)
+            .with_strategy(Strategy::Scalar)
+            .partition(&r)
+            .0;
+        let b = CpuPartitioner::new(f, 2).partition(&r).0;
+        assert_eq!(a.raw_data(), b.raw_data());
+    }
+
+    #[test]
+    fn swwcb_without_nt_matches() {
+        let r = rel(5000, KeyDistribution::ReverseGrid);
+        let f = PartitionFn::Murmur { bits: 4 };
+        let a = CpuPartitioner::new(f, 3)
+            .with_strategy(Strategy::Swwcb { non_temporal: false })
+            .partition(&r)
+            .0;
+        let b = CpuPartitioner::new(f, 3).partition(&r).0;
+        assert_eq!(a.raw_data(), b.raw_data());
+    }
+
+    #[test]
+    fn two_pass_produces_identical_layout() {
+        let r = rel(8000, KeyDistribution::Random);
+        let f = PartitionFn::Murmur { bits: 8 };
+        let single = CpuPartitioner::new(f, 1).partition(&r).0;
+        let (two, report) = CpuPartitioner::new(f, 1)
+            .with_strategy(Strategy::TwoPass { first_bits: 4 })
+            .partition(&r);
+        check(&r, &two, f);
+        assert_eq!(single.raw_data(), two.raw_data(), "stable two-pass layout");
+        assert!(report.passes > 2);
+    }
+
+    #[test]
+    fn empty_and_tiny_relations() {
+        let f = PartitionFn::Murmur { bits: 4 };
+        let empty = Relation::<Tuple8>::from_tuples(&[]);
+        let (out, _) = CpuPartitioner::new(f, 4).partition(&empty);
+        assert_eq!(out.total_valid(), 0);
+
+        let one = Relation::<Tuple8>::from_keys(&[42]);
+        let (out, _) = CpuPartitioner::new(f, 4).partition(&one);
+        assert_eq!(out.total_valid(), 1);
+        check(&one, &out, f);
+    }
+
+    #[test]
+    fn radix_and_hash_agree_on_totals() {
+        let r = rel(3000, KeyDistribution::Grid);
+        for f in [PartitionFn::Radix { bits: 6 }, PartitionFn::Murmur { bits: 6 }] {
+            let (out, _) = CpuPartitioner::new(f, 2).partition(&r);
+            check(&r, &out, f);
+        }
+    }
+
+    #[test]
+    fn chunking_is_even_and_complete() {
+        let v: Vec<u32> = (0..10).collect();
+        let chunks = chunk_evenly(&v, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], &[0, 1, 2, 3]);
+        assert_eq!(chunks[1], &[4, 5, 6]);
+        assert_eq!(chunks[2], &[7, 8, 9]);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(chunk_evenly(&empty, 2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and bits-1")]
+    fn two_pass_rejects_degenerate_split() {
+        let r = rel(100, KeyDistribution::Linear);
+        let _ = CpuPartitioner::new(PartitionFn::Radix { bits: 4 }, 1)
+            .with_strategy(Strategy::TwoPass { first_bits: 4 })
+            .partition(&r);
+    }
+}

@@ -1,0 +1,149 @@
+//! Sorting as an application of partitioning.
+//!
+//! The paper's software baseline descends from radix-sort work (Satish et
+//! al. introduced the software-managed buffers; Polychroniou & Ross's
+//! partitioning study is framed around "large-scale comparison- and
+//! radix-sort"). Two classic constructions on top of the partitioners:
+//!
+//! * [`lsd_radix_sort`] — least-significant-digit radix sort: one stable
+//!   partitioning pass per key digit, exactly the partitioner in a loop;
+//! * [`sample_sort`] — range-partition on sampled splitters, then sort
+//!   each (cache-sized) bucket — the comparison-sort analogue of the
+//!   partitioned hash join's build phase.
+//!
+//! Both rely on a property the partitioners guarantee and test: tuples
+//! within a partition keep their arrival order (stability).
+
+use fpart_hash::PartitionFn;
+use fpart_types::{Key, Relation, Tuple};
+
+use crate::parallel::CpuPartitioner;
+use crate::range::{range_partition, RangeSplitters};
+
+/// Digit width (bits) per LSD pass. 8 bits = 256-way passes, the standard
+/// choice that keeps the pass fan-out within L1 reach (cf. Figure 10a's
+/// fan-out penalty).
+pub const LSD_DIGIT_BITS: u32 = 8;
+
+/// Sort a relation by key with least-significant-digit radix sort:
+/// `⌈key_bits / 8⌉` stable partitioning passes.
+pub fn lsd_radix_sort<T: Tuple>(rel: &Relation<T>, threads: usize) -> Relation<T> {
+    let digits = T::K::BITS.div_ceil(LSD_DIGIT_BITS);
+    let mut current = Relation::from_tuples(rel.tuples());
+    for d in 0..digits {
+        let f = PartitionFn::RadixAt {
+            shift: d * LSD_DIGIT_BITS,
+            bits: LSD_DIGIT_BITS,
+        };
+        let (parts, _) = CpuPartitioner::new(f, threads).partition(&current);
+        // Concatenating partitions in id order IS the stable counting
+        // pass: the partitioner preserves arrival order within each
+        // partition.
+        let tuples: Vec<T> = parts.all_tuples().collect();
+        current = Relation::from_tuples(&tuples);
+    }
+    current
+}
+
+/// Sort a relation by key with sample sort: range-partition into
+/// `buckets` ordered buckets, sort each bucket, concatenate.
+pub fn sample_sort<T: Tuple>(rel: &Relation<T>, buckets: usize) -> Relation<T> {
+    if rel.is_empty() {
+        return Relation::from_tuples(&[]);
+    }
+    let keys: Vec<T::K> = rel.tuples().iter().map(|t| t.key()).collect();
+    let splitters = RangeSplitters::from_sample(&keys, buckets, buckets * 32, 0x5eed);
+    let (parts, _) = range_partition(rel, &splitters);
+    let mut out: Vec<T> = Vec::with_capacity(rel.len());
+    for p in 0..parts.num_partitions() {
+        let start = out.len();
+        out.extend(parts.partition_tuples(p));
+        out[start..].sort_by_key(|t| t.key());
+    }
+    Relation::from_tuples(&out)
+}
+
+/// Whether a relation is sorted by key (helper for tests and callers).
+pub fn is_sorted_by_key<T: Tuple>(rel: &Relation<T>) -> bool {
+    rel.tuples().windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::KeyDistribution;
+    use fpart_types::relation::content_checksum;
+    use fpart_types::{Tuple16, Tuple8};
+
+    fn reference_sorted(rel: &Relation<Tuple8>) -> Vec<Tuple8> {
+        let mut v = rel.tuples().to_vec();
+        v.sort_by_key(|t| t.key);
+        v
+    }
+
+    #[test]
+    fn lsd_radix_sort_sorts_all_distributions() {
+        for dist in KeyDistribution::ALL {
+            let keys: Vec<u32> = dist.generate_keys(5000, 9);
+            let rel = Relation::<Tuple8>::from_keys(&keys);
+            let sorted = lsd_radix_sort(&rel, 2);
+            assert!(is_sorted_by_key(&sorted), "{}", dist.label());
+            assert_eq!(
+                content_checksum(rel.tuples().iter().copied()),
+                content_checksum(sorted.tuples().iter().copied())
+            );
+        }
+    }
+
+    #[test]
+    fn lsd_sort_is_stable() {
+        // Duplicate keys keep arrival (payload) order.
+        let tuples: Vec<Tuple8> = (0..1000).map(|i| Tuple8::new(i % 7, i as u64)).collect();
+        let rel = Relation::from_tuples(&tuples);
+        let sorted = lsd_radix_sort(&rel, 1);
+        for w in sorted.tuples().windows(2) {
+            if w[0].key == w[1].key {
+                assert!(w[0].payload < w[1].payload, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn lsd_matches_comparison_sort_exactly_when_stable() {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(4096, 5);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let sorted = lsd_radix_sort(&rel, 3);
+        assert_eq!(sorted.tuples(), &reference_sorted(&rel)[..]);
+    }
+
+    #[test]
+    fn sample_sort_sorts() {
+        let keys: Vec<u32> = KeyDistribution::Grid.generate_keys(20_000, 1);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let sorted = sample_sort(&rel, 32);
+        assert!(is_sorted_by_key(&sorted));
+        assert_eq!(sorted.len(), 20_000);
+        assert_eq!(
+            content_checksum(rel.tuples().iter().copied()),
+            content_checksum(sorted.tuples().iter().copied())
+        );
+    }
+
+    #[test]
+    fn sixty_four_bit_keys_sort() {
+        let keys: Vec<u64> = KeyDistribution::Random.generate_keys(3000, 4);
+        let rel = Relation::<Tuple16>::from_keys(&keys);
+        let sorted = lsd_radix_sort(&rel, 2);
+        assert!(sorted.tuples().windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Relation::<Tuple8>::from_tuples(&[]);
+        assert!(lsd_radix_sort(&empty, 2).is_empty());
+        assert!(sample_sort(&empty, 8).is_empty());
+        let one = Relation::<Tuple8>::from_keys(&[42]);
+        assert_eq!(lsd_radix_sort(&one, 2).tuples(), one.tuples());
+        assert_eq!(sample_sort(&one, 8).tuples(), one.tuples());
+    }
+}

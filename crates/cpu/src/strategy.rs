@@ -1,0 +1,60 @@
+//! Partitioning strategies: the lineage of CPU optimisations the paper's
+//! Section 3.1 walks through.
+
+/// How the scatter pass moves tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Code 1: direct scatter, one random cache-line access per tuple.
+    Scalar,
+    /// Code 2 (+ Wassenberg & Sanders when `non_temporal`): single-pass
+    /// scatter through L1-resident write-combining buffers. This is the
+    /// paper's software baseline configuration.
+    Swwcb {
+        /// Flush buffers with streaming stores, bypassing the caches.
+        non_temporal: bool,
+    },
+    /// Manegold et al.: two passes with bounded fan-out per pass
+    /// (`2^first_bits`, then `2^(total-first_bits)`) so each pass's
+    /// scatter stays within TLB reach. Runs single-threaded (it is the
+    /// historical single-core baseline the later work improved on).
+    TwoPass {
+        /// Partition-id bits resolved by the first pass (the remaining
+        /// bits are resolved within each first-level bucket).
+        first_bits: u32,
+    },
+}
+
+impl Strategy {
+    /// The paper's baseline: SWWCB with non-temporal stores.
+    pub const PAPER_BASELINE: Self = Self::Swwcb { non_temporal: true };
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Swwcb { non_temporal: true } => "swwcb+nt",
+            Self::Swwcb { non_temporal: false } => "swwcb",
+            Self::TwoPass { .. } => "two-pass",
+        }
+    }
+
+    /// Passes over the data (excluding the histogram pass).
+    pub fn scatter_passes(self) -> usize {
+        match self {
+            Self::TwoPass { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_passes() {
+        assert_eq!(Strategy::PAPER_BASELINE.label(), "swwcb+nt");
+        assert_eq!(Strategy::Scalar.scatter_passes(), 1);
+        assert_eq!(Strategy::TwoPass { first_bits: 6 }.scatter_passes(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Software-managed write-combining buffers (Code 2 of the paper).
+//!
+//! "The cache-resident buffers, each usually having the size of a cache
+//! line, are used to accumulate a certain number of tuples … If a buffer
+//! for a certain partition gets full, it is written to the memory." The
+//! benefit: the random-access pattern touches only the L1-resident buffer
+//! array; main memory sees one streaming burst per cache line instead of a
+//! read-modify-write per tuple.
+
+use fpart_hash::PartitionFn;
+use fpart_types::{AlignedBuf, SharedWriter, Tuple};
+
+use crate::nt_store;
+
+/// A per-thread scatter engine with a cache-line-aligned buffer per
+/// partition.
+///
+/// The buffer depth is configurable: "the size of each buffer (N) should
+/// be set so that all the buffers fit into L1" (Section 3.1) — one line
+/// per partition is the classic choice at large fan-outs, and the
+/// `ablation_swwcb_depth` bench sweeps deeper buffers for smaller ones.
+pub struct Swwcb<T: Tuple> {
+    /// `partitions × buffer_slots` tuple slots, 64-byte aligned.
+    buffers: AlignedBuf<T>,
+    /// Tuples this thread has pushed per partition.
+    counts: Vec<usize>,
+    /// Absolute output slot where this thread's extent of each partition
+    /// begins (from [`crate::histogram::thread_bases`]).
+    bases: Vec<usize>,
+    /// Tuples per partition buffer (`lines × LANES`).
+    buffer_slots: usize,
+    non_temporal: bool,
+}
+
+impl<T: Tuple> Swwcb<T> {
+    /// Create a scatter engine writing partition `p`'s tuples at
+    /// `bases[p]`, `bases[p]+1`, …, with one cache line of buffering per
+    /// partition (the paper baseline's configuration).
+    pub fn new(bases: Vec<usize>, non_temporal: bool) -> Self {
+        Self::with_buffer_lines(bases, non_temporal, 1)
+    }
+
+    /// Create a scatter engine with `lines` cache lines of buffering per
+    /// partition.
+    ///
+    /// # Panics
+    /// Panics if `lines == 0`.
+    pub fn with_buffer_lines(bases: Vec<usize>, non_temporal: bool, lines: usize) -> Self {
+        assert!(lines > 0, "at least one line of buffering");
+        let parts = bases.len();
+        let buffer_slots = lines * T::LANES;
+        Self {
+            buffers: AlignedBuf::filled(parts * buffer_slots, T::dummy()),
+            counts: vec![0; parts],
+            bases,
+            buffer_slots,
+            non_temporal,
+        }
+    }
+
+    /// Buffer one tuple; flushes the partition's cache line to `out` when
+    /// it fills.
+    ///
+    /// # Safety
+    /// The extents implied by `bases` and the per-thread histogram must be
+    /// disjoint from every other writer of `out` and in-bounds.
+    #[inline]
+    pub unsafe fn push(&mut self, p: usize, t: T, out: &SharedWriter<T>) {
+        let c = self.counts[p];
+        let idx = c % self.buffer_slots;
+        self.buffers[p * self.buffer_slots + idx] = t;
+        if idx == self.buffer_slots - 1 {
+            let run_start = c + 1 - self.buffer_slots;
+            // SAFETY: forwarded from the caller's contract.
+            unsafe { self.flush_line(p, run_start, self.buffer_slots, out) };
+        }
+        self.counts[p] = c + 1;
+    }
+
+    /// Flush all partially filled buffers (end of the scatter pass) and
+    /// fence streaming stores.
+    ///
+    /// # Safety
+    /// Same contract as [`Swwcb::push`].
+    pub unsafe fn drain(&mut self, out: &SharedWriter<T>) {
+        for p in 0..self.counts.len() {
+            let rem = self.counts[p] % self.buffer_slots;
+            if rem > 0 {
+                let run_start = self.counts[p] - rem;
+                // SAFETY: forwarded from the caller's contract.
+                unsafe { self.flush_line(p, run_start, rem, out) };
+            }
+        }
+        nt_store::store_fence();
+    }
+
+    /// Tuples pushed per partition so far.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    #[inline]
+    unsafe fn flush_line(&self, p: usize, rel_slot: usize, n: usize, out: &SharedWriter<T>) {
+        let src = &self.buffers[p * self.buffer_slots..p * self.buffer_slots + n];
+        let abs = self.bases[p] + rel_slot;
+        debug_assert!(abs + n <= out.len());
+        if self.non_temporal {
+            // SAFETY: abs+n bounds-checked above; destination is 8-byte
+            // aligned because the backing store is 64-byte aligned and
+            // tuple widths are multiples of 8.
+            unsafe { nt_store::nt_copy(out.as_ptr_at(abs), src) };
+        } else {
+            // SAFETY: as above.
+            unsafe { out.write_run(abs, src) };
+        }
+    }
+}
+
+/// The naive scatter of Code 1: every tuple goes straight to memory —
+/// one random cache-line read-modify-write per tuple. Kept as the
+/// ablation baseline for the write-combining claim of Section 4.2.
+///
+/// # Safety
+/// Same extent-disjointness contract as [`Swwcb::push`].
+pub unsafe fn scatter_scalar<T: Tuple>(
+    tuples: &[T],
+    f: PartitionFn,
+    bases: &[usize],
+    out: &SharedWriter<T>,
+) {
+    let mut cursors = vec![0usize; bases.len()];
+    for &t in tuples {
+        let p = f.partition_of(t.key());
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { out.write(bases[p] + cursors[p], t) };
+        cursors[p] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_types::{PartitionedRelation, Tuple8};
+
+    #[test]
+    fn swwcb_scatter_matches_direct() {
+        let f = PartitionFn::Radix { bits: 2 };
+        let tuples: Vec<Tuple8> = (0..37).map(|i| Tuple8::new(i, i as u64)).collect();
+        let hist = crate::histogram::build(&tuples, f);
+        let bases = crate::histogram::prefix_sum(&hist);
+
+        let mut rel = PartitionedRelation::<Tuple8>::with_histogram(&hist, false);
+        {
+            let writer = SharedWriter::new(&mut rel);
+            let mut wc = Swwcb::new(bases[..4].to_vec(), true);
+            for &t in &tuples {
+                // SAFETY: single-threaded, extents from the histogram.
+                unsafe { wc.push(f.partition_of(t.key), t, &writer) };
+            }
+            // SAFETY: as above.
+            unsafe { wc.drain(&writer) };
+            assert_eq!(wc.counts().iter().sum::<usize>(), 37);
+        }
+        for (p, &h) in hist.iter().enumerate() {
+            rel.set_partition_fill(p, h, h);
+        }
+        assert_eq!(rel.total_valid(), 37);
+        for p in 0..4 {
+            for t in rel.partition_tuples(p) {
+                assert_eq!(f.partition_of(t.key), p);
+            }
+        }
+        // Order within a partition is arrival order.
+        let p0: Vec<u32> = rel.partition_tuples(0).map(|t| t.key).collect();
+        let mut expect: Vec<u32> = (0..37).filter(|k| k % 4 == 0).collect();
+        expect.sort_unstable();
+        assert_eq!(p0, expect);
+    }
+
+    #[test]
+    fn scalar_scatter_equivalent_to_swwcb() {
+        let f = PartitionFn::Murmur { bits: 3 };
+        let tuples: Vec<Tuple8> = (0..100).map(|i| Tuple8::new(i * 13, i as u64)).collect();
+        let hist = crate::histogram::build(&tuples, f);
+        let bases = crate::histogram::prefix_sum(&hist)[..hist.len()].to_vec();
+
+        let mut a = PartitionedRelation::<Tuple8>::with_histogram(&hist, false);
+        {
+            let w = SharedWriter::new(&mut a);
+            // SAFETY: single-threaded over exact extents.
+            unsafe { scatter_scalar(&tuples, f, &bases, &w) };
+        }
+        let mut b = PartitionedRelation::<Tuple8>::with_histogram(&hist, false);
+        {
+            let w = SharedWriter::new(&mut b);
+            let mut wc = Swwcb::new(bases.clone(), false);
+            for &t in &tuples {
+                // SAFETY: as above.
+                unsafe { wc.push(f.partition_of(t.key), t, &w) };
+            }
+            // SAFETY: as above.
+            unsafe { wc.drain(&w) };
+        }
+        assert_eq!(a.raw_data(), b.raw_data());
+    }
+}
+
+#[cfg(test)]
+mod buffer_depth_tests {
+    use super::*;
+    use fpart_types::{PartitionedRelation, Tuple8};
+
+    /// Any buffer depth produces the identical output layout.
+    #[test]
+    fn depths_are_layout_equivalent() {
+        let f = PartitionFn::Murmur { bits: 4 };
+        let tuples: Vec<Tuple8> = (0..997).map(|i| Tuple8::new(i * 31, i as u64)).collect();
+        let hist = crate::histogram::build(&tuples, f);
+        let bases = crate::histogram::prefix_sum(&hist)[..hist.len()].to_vec();
+
+        let run = |lines: usize| {
+            let mut rel = PartitionedRelation::<Tuple8>::with_histogram(&hist, false);
+            {
+                let w = SharedWriter::new(&mut rel);
+                let mut wc = Swwcb::with_buffer_lines(bases.clone(), lines % 2 == 0, lines);
+                for &t in &tuples {
+                    // SAFETY: single-threaded, exact extents.
+                    unsafe { wc.push(f.partition_of(t.key), t, &w) };
+                }
+                // SAFETY: as above.
+                unsafe { wc.drain(&w) };
+            }
+            rel.raw_data().to_vec()
+        };
+        let reference = run(1);
+        for lines in [2usize, 4, 8] {
+            assert_eq!(run(lines), reference, "buffer depth {lines}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_depth_rejected() {
+        let _ = Swwcb::<Tuple8>::with_buffer_lines(vec![0], false, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The four key distributions of Section 3.2 plus foreign-key sampling.
+//!
+//! Following Richter et al. (quoted in the paper):
+//!
+//! 1. **Linear** — unique keys in `[1, N]`.
+//! 2. **Random** — keys "generated using the C pseudo-random generator in
+//!    the full 32-bit integer range". We additionally guarantee uniqueness
+//!    (required of a build relation) with a seeded Feistel bijection of the
+//!    key space instead of rejection sampling.
+//! 3. **Grid** — every byte of a 4 B key takes a value in `[1, 128]`; the
+//!    least-significant byte increments first. "Resembles address
+//!    patterns and strings."
+//! 4. **Reverse grid** — same digits, but incrementing starts with the
+//!    most-significant byte.
+//!
+//! Probe relations reference build keys: [`foreign_keys`] samples them
+//! uniformly, [`zipf_foreign_keys`] with Zipf skew (Section 5.4).
+
+use fpart_types::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::permute::FeistelPermutation;
+use crate::zipf::ZipfSampler;
+
+/// Number of distinct values each grid digit takes (`1..=128`).
+const GRID_RADIX: u64 = 128;
+
+/// A key distribution from the paper's Section 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDistribution {
+    /// Unique keys `1..=N` in sequence.
+    Linear,
+    /// Unique uniformly-random keys over the full key-word range
+    /// (excluding the dummy sentinel).
+    Random,
+    /// Grid keys: base-128 digits valued `1..=128`, LSB increments first.
+    Grid,
+    /// Reverse-grid keys: MSB increments first.
+    ReverseGrid,
+}
+
+impl KeyDistribution {
+    /// All four distributions, in the paper's order.
+    pub const ALL: [Self; 4] = [Self::Linear, Self::Random, Self::Grid, Self::ReverseGrid];
+
+    /// Human-readable label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Linear => "linear",
+            Self::Random => "random",
+            Self::Grid => "grid",
+            Self::ReverseGrid => "rev. grid",
+        }
+    }
+
+    /// Generate `n` unique keys. Deterministic in `seed` (Linear and the
+    /// grids ignore it).
+    ///
+    /// # Panics
+    /// Panics if the distribution cannot produce `n` unique keys in the
+    /// key-word range (e.g. grid keys cap at `128^digits`).
+    pub fn generate_keys<K: Key>(self, n: usize, seed: u64) -> Vec<K> {
+        match self {
+            Self::Linear => (1..=n as u64).map(K::from_u64).collect(),
+            Self::Random => {
+                // Domain 2^BITS - 1 excludes the all-ones dummy sentinel.
+                let domain = if K::BITS >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << K::BITS) - 1
+                };
+                assert!(
+                    (n as u64) <= domain,
+                    "cannot draw {n} unique keys from a {}-bit space",
+                    K::BITS
+                );
+                let perm = FeistelPermutation::new(domain, seed);
+                (0..n as u64).map(|i| K::from_u64(perm.permute(i))).collect()
+            }
+            Self::Grid => grid_keys::<K>(n, false),
+            Self::ReverseGrid => grid_keys::<K>(n, true),
+        }
+    }
+}
+
+/// Generate `n` grid keys. `reverse` selects which end of the key the
+/// fastest-cycling digit sits at.
+///
+/// The paper defines the pattern for 4 B keys (4 digits); for 8 B key words
+/// we keep the 4-digit pattern so the key *values* are identical across
+/// tuple widths, which keeps partition histograms comparable.
+fn grid_keys<K: Key>(n: usize, reverse: bool) -> Vec<K> {
+    const DIGITS: u32 = 4;
+    let capacity = GRID_RADIX.pow(DIGITS);
+    assert!(
+        (n as u64) <= capacity,
+        "grid distribution caps at {capacity} unique keys"
+    );
+    (0..n as u64)
+        .map(|i| {
+            let mut key = 0u64;
+            let mut rest = i;
+            for d in 0..DIGITS {
+                let digit = rest % GRID_RADIX + 1; // 1..=128
+                rest /= GRID_RADIX;
+                // Fastest-cycling digit at byte 0 (grid) or at the key's
+                // most-significant byte (reverse grid).
+                let byte_pos = if reverse { DIGITS - 1 - d } else { d };
+                key |= digit << (8 * byte_pos);
+            }
+            K::from_u64(key)
+        })
+        .collect()
+}
+
+/// Sample `n` probe-side keys uniformly from the build keys — the unskewed
+/// foreign-key pattern of workloads A–E.
+pub fn foreign_keys<K: Key>(r_keys: &[K], n: usize, seed: u64) -> Vec<K> {
+    assert!(!r_keys.is_empty(), "build side must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| r_keys[rng.random_range(0..r_keys.len())])
+        .collect()
+}
+
+/// Sample `n` probe-side keys from the build keys with Zipf skew: rank 1 is
+/// the most frequent key (Section 5.4, Figure 13).
+pub fn zipf_foreign_keys<K: Key>(r_keys: &[K], n: usize, factor: f64, seed: u64) -> Vec<K> {
+    assert!(!r_keys.is_empty(), "build side must be non-empty");
+    let sampler = ZipfSampler::new(r_keys.len() as u64, factor);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| r_keys[(sampler.sample(&mut rng) - 1) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn linear_is_one_to_n() {
+        let keys: Vec<u32> = KeyDistribution::Linear.generate_keys(5, 0);
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_keys_are_unique_and_never_dummy() {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(100_000, 9);
+        let set: HashSet<u32> = keys.iter().copied().collect();
+        assert_eq!(set.len(), keys.len());
+        assert!(!set.contains(&u32::MAX));
+    }
+
+    #[test]
+    fn random_spans_the_full_range() {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(10_000, 3);
+        let max = *keys.iter().max().unwrap();
+        let min = *keys.iter().min().unwrap();
+        assert!(max > u32::MAX / 2, "max {max} should reach the upper half");
+        assert!(min < u32::MAX / 2, "min {min} should reach the lower half");
+    }
+
+    #[test]
+    fn grid_bytes_stay_in_1_to_128() {
+        let keys: Vec<u32> = KeyDistribution::Grid.generate_keys(50_000, 0);
+        for &k in &keys {
+            for b in k.to_le_bytes() {
+                assert!((1..=128).contains(&b), "byte {b} of key {k:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_increments_lsb_first() {
+        let keys: Vec<u32> = KeyDistribution::Grid.generate_keys(130, 0);
+        // First key: all digits 1.
+        assert_eq!(keys[0], 0x0101_0101);
+        // Second key increments the least significant byte.
+        assert_eq!(keys[1], 0x0101_0102);
+        // After 128 keys the LSB resets to 1 and the next byte bumps.
+        assert_eq!(keys[128], 0x0101_0201);
+    }
+
+    #[test]
+    fn reverse_grid_increments_msb_first() {
+        let keys: Vec<u32> = KeyDistribution::ReverseGrid.generate_keys(130, 0);
+        assert_eq!(keys[0], 0x0101_0101);
+        assert_eq!(keys[1], 0x0201_0101);
+        assert_eq!(keys[128], 0x0102_0101);
+    }
+
+    #[test]
+    fn grid_keys_are_unique() {
+        for dist in [KeyDistribution::Grid, KeyDistribution::ReverseGrid] {
+            let keys: Vec<u32> = dist.generate_keys(100_000, 0);
+            let set: HashSet<u32> = keys.iter().copied().collect();
+            assert_eq!(set.len(), keys.len(), "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn all_distributions_produce_requested_count() {
+        for dist in KeyDistribution::ALL {
+            let keys: Vec<u32> = dist.generate_keys(1234, 5);
+            assert_eq!(keys.len(), 1234, "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn foreign_keys_reference_build_side() {
+        let r: Vec<u32> = KeyDistribution::Random.generate_keys(1000, 1);
+        let set: HashSet<u32> = r.iter().copied().collect();
+        let s = foreign_keys(&r, 5000, 2);
+        assert_eq!(s.len(), 5000);
+        assert!(s.iter().all(|k| set.contains(k)));
+    }
+
+    #[test]
+    fn zipf_foreign_keys_are_skewed() {
+        let r: Vec<u32> = KeyDistribution::Linear.generate_keys(1000, 0);
+        let s = zipf_foreign_keys(&r, 20_000, 1.5, 3);
+        // Rank-1 key (r[0] = 1) should dominate under heavy skew.
+        let head = s.iter().filter(|&&k| k == 1).count() as f64 / s.len() as f64;
+        assert!(head > 0.2, "head share {head}");
+        let set: HashSet<u32> = r.iter().copied().collect();
+        assert!(s.iter().all(|k| set.contains(k)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a: Vec<u32> = KeyDistribution::Random.generate_keys(100, 42);
+        let b: Vec<u32> = KeyDistribution::Random.generate_keys(100, 42);
+        let c: Vec<u32> = KeyDistribution::Random.generate_keys(100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn u64_keys_work_for_all_distributions() {
+        for dist in KeyDistribution::ALL {
+            let keys: Vec<u64> = dist.generate_keys(1000, 5);
+            let set: HashSet<u64> = keys.iter().copied().collect();
+            assert_eq!(set.len(), 1000, "{}", dist.label());
+            assert!(!set.contains(&u64::MAX));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # fpart-datagen
+//!
+//! Workload generation for the reproduction of *"FPGA-based Data
+//! Partitioning"* (SIGMOD 2017).
+//!
+//! Section 3.2 evaluates partitioning over four key distributions taken
+//! from Richter et al.'s hashing study — linear, random, grid and reverse
+//! grid — and Section 5.4 adds Zipf-skewed probe relations. Table 4 defines
+//! the five workloads (A–E) used throughout the evaluation. This crate
+//! generates all of them deterministically from a seed:
+//!
+//! * [`KeyDistribution`] — the four base distributions plus Zipf;
+//! * [`zipf::ZipfSampler`] — an O(1)-per-sample rejection-inversion Zipf
+//!   generator (no giant CDF tables, so 128 M-tuple relations are cheap);
+//! * [`permute::FeistelPermutation`] — a seeded random bijection used to
+//!   generate *unique* uniformly-random keys without a dedup set;
+//! * [`workloads`] — Table 4 (A–E) with a scale knob for small machines.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod permute;
+pub mod workloads;
+pub mod zipf;
+
+pub use dist::KeyDistribution;
+pub use workloads::{Workload, WorkloadId};

@@ -1,0 +1,214 @@
+//! Table 4: the workloads used in the paper's evaluation.
+//!
+//! | Name | #Tuples R | #Tuples S | Key distribution |
+//! |------|-----------|-----------|------------------|
+//! | A    | 128·10⁶   | 128·10⁶   | Linear           |
+//! | B    | 16·2²⁰    | 256·2²⁰   | Linear           |
+//! | C    | 128·10⁶   | 128·10⁶   | Random           |
+//! | D    | 128·10⁶   | 128·10⁶   | Grid             |
+//! | E    | 128·10⁶   | 128·10⁶   | Reverse Grid     |
+//!
+//! All evaluation experiments use 8 B tuples. A `scale` knob shrinks the
+//! tuple counts proportionally so the full figure suite runs on small
+//! machines; EXPERIMENTS.md records the scale each run used.
+
+use fpart_types::{ColumnRelation, Relation, Tuple};
+
+use crate::dist::{foreign_keys, zipf_foreign_keys, KeyDistribution};
+
+/// Identifier of a Table 4 workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadId {
+    /// 128 M ⋈ 128 M, linear keys.
+    A,
+    /// 16 Mi ⋈ 256 Mi, linear keys (small build, large probe).
+    B,
+    /// 128 M ⋈ 128 M, random keys.
+    C,
+    /// 128 M ⋈ 128 M, grid keys.
+    D,
+    /// 128 M ⋈ 128 M, reverse-grid keys.
+    E,
+}
+
+impl WorkloadId {
+    /// All workloads in Table 4 order.
+    pub const ALL: [Self; 5] = [Self::A, Self::B, Self::C, Self::D, Self::E];
+
+    /// The workload's Table 4 definition.
+    pub fn spec(self) -> Workload {
+        match self {
+            Self::A => Workload::new("Workload A", 128_000_000, 128_000_000, KeyDistribution::Linear),
+            Self::B => Workload::new("Workload B", 16 << 20, 256 << 20, KeyDistribution::Linear),
+            Self::C => Workload::new("Workload C", 128_000_000, 128_000_000, KeyDistribution::Random),
+            Self::D => Workload::new("Workload D", 128_000_000, 128_000_000, KeyDistribution::Grid),
+            Self::E => Workload::new(
+                "Workload E",
+                128_000_000,
+                128_000_000,
+                KeyDistribution::ReverseGrid,
+            ),
+        }
+    }
+}
+
+/// A join workload: build relation R, probe relation S, key distribution.
+///
+/// # Examples
+///
+/// ```
+/// use fpart_datagen::WorkloadId;
+/// use fpart_types::Tuple8;
+///
+/// // Workload A at 1/1000 scale: 128k ⋈ 128k linear-keyed tuples.
+/// let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(0.001, 42);
+/// assert_eq!(r.len(), 128_000);
+/// assert_eq!(s.len(), 128_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Display name ("Workload A" … "Workload E").
+    pub name: &'static str,
+    /// Tuples in the build relation R at scale 1.
+    pub r_tuples: usize,
+    /// Tuples in the probe relation S at scale 1.
+    pub s_tuples: usize,
+    /// Key distribution of R (S references R's keys).
+    pub distribution: KeyDistribution,
+}
+
+impl Workload {
+    /// Define a workload.
+    pub const fn new(
+        name: &'static str,
+        r_tuples: usize,
+        s_tuples: usize,
+        distribution: KeyDistribution,
+    ) -> Self {
+        Self {
+            name,
+            r_tuples,
+            s_tuples,
+            distribution,
+        }
+    }
+
+    /// Tuple counts after applying `scale` (both sides scale together so
+    /// the R:S ratio is preserved; at least one tuple each).
+    pub fn scaled(&self, scale: f64) -> (usize, usize) {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        let r = ((self.r_tuples as f64 * scale) as usize).max(1);
+        let s = ((self.s_tuples as f64 * scale) as usize).max(1);
+        (r, s)
+    }
+
+    /// Generate the build keys at the given scale.
+    pub fn build_keys<T: Tuple>(&self, scale: f64, seed: u64) -> Vec<T::K> {
+        let (r, _) = self.scaled(scale);
+        self.distribution.generate_keys::<T::K>(r, seed)
+    }
+
+    /// Materialise row-store R and S relations (RID mode input).
+    ///
+    /// S draws its keys uniformly from R's keys, so every probe tuple has
+    /// exactly one build-side match (R's keys are unique).
+    pub fn row_relations<T: Tuple>(&self, scale: f64, seed: u64) -> (Relation<T>, Relation<T>) {
+        let r_keys = self.build_keys::<T>(scale, seed);
+        let (_, s_n) = self.scaled(scale);
+        let s_keys = foreign_keys(&r_keys, s_n, seed ^ 0x5f5f);
+        (Relation::from_keys(&r_keys), Relation::from_keys(&s_keys))
+    }
+
+    /// Materialise row-store R and a Zipf-skewed S (Section 5.4 /
+    /// Figure 13: "relation S is skewed").
+    pub fn skewed_row_relations<T: Tuple>(
+        &self,
+        scale: f64,
+        zipf_factor: f64,
+        seed: u64,
+    ) -> (Relation<T>, Relation<T>) {
+        let r_keys = self.build_keys::<T>(scale, seed);
+        let (_, s_n) = self.scaled(scale);
+        let s_keys = zipf_foreign_keys(&r_keys, s_n, zipf_factor, seed ^ 0xa5a5);
+        (Relation::from_keys(&r_keys), Relation::from_keys(&s_keys))
+    }
+
+    /// Materialise column-store R and S relations (VRID mode input).
+    pub fn column_relations<T: Tuple>(
+        &self,
+        scale: f64,
+        seed: u64,
+    ) -> (ColumnRelation<T>, ColumnRelation<T>) {
+        let r_keys = self.build_keys::<T>(scale, seed);
+        let (_, s_n) = self.scaled(scale);
+        let s_keys = foreign_keys(&r_keys, s_n, seed ^ 0x5f5f);
+        (
+            ColumnRelation::from_keys(&r_keys),
+            ColumnRelation::from_keys(&s_keys),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_types::Tuple8;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table4_definitions() {
+        let a = WorkloadId::A.spec();
+        assert_eq!((a.r_tuples, a.s_tuples), (128_000_000, 128_000_000));
+        assert_eq!(a.distribution, KeyDistribution::Linear);
+
+        let b = WorkloadId::B.spec();
+        assert_eq!((b.r_tuples, b.s_tuples), (16 << 20, 256 << 20));
+        assert_eq!(b.s_tuples / b.r_tuples, 16);
+
+        assert_eq!(WorkloadId::C.spec().distribution, KeyDistribution::Random);
+        assert_eq!(WorkloadId::D.spec().distribution, KeyDistribution::Grid);
+        assert_eq!(
+            WorkloadId::E.spec().distribution,
+            KeyDistribution::ReverseGrid
+        );
+    }
+
+    #[test]
+    fn scaling_preserves_ratio() {
+        let b = WorkloadId::B.spec();
+        let (r, s) = b.scaled(1.0 / 1024.0);
+        assert_eq!(r, 16 << 10);
+        assert_eq!(s, 256 << 10);
+    }
+
+    #[test]
+    fn every_probe_tuple_has_a_build_match() {
+        let w = WorkloadId::C.spec();
+        let (r, s) = w.row_relations::<Tuple8>(0.0001, 7);
+        let keys: HashSet<u32> = r.tuples().iter().map(|t| t.key).collect();
+        assert_eq!(keys.len(), r.len(), "build keys must be unique");
+        assert!(s.tuples().iter().all(|t| keys.contains(&t.key)));
+    }
+
+    #[test]
+    fn skewed_s_repeats_head_keys() {
+        let w = WorkloadId::A.spec();
+        let (r, s) = w.skewed_row_relations::<Tuple8>(0.0001, 1.5, 7);
+        let head_key = r.tuples()[0].key;
+        let head = s.tuples().iter().filter(|t| t.key == head_key).count();
+        assert!(
+            head as f64 / s.len() as f64 > 0.15,
+            "zipf 1.5 head share too small: {head}/{}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn column_relations_align() {
+        let w = WorkloadId::A.spec();
+        let (r, _s) = w.column_relations::<Tuple8>(0.00001, 1);
+        assert_eq!(r.keys().len(), r.payloads().len());
+        // Payload column is the row id.
+        assert!(r.payloads().iter().enumerate().all(|(i, &p)| p == i as u64));
+    }
+}

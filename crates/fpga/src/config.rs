@@ -1,0 +1,233 @@
+//! Configuration of the partitioner circuit (Section 4.5's two binary
+//! parameters, plus synthesis-time knobs).
+
+use fpart_hash::PartitionFn;
+use fpart_types::{FpartError, Result};
+
+/// How the output is formatted (first binary parameter of Section 4.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutputMode {
+    /// Histogram building mode: a first pass builds a histogram in BRAM
+    /// (nothing is written back), a second pass scatters tuples using the
+    /// prefix sum. Minimal intermediate memory; robust against any skew.
+    Hist,
+    /// Padding mode: each partition is preassigned
+    /// `#Tuples/#Partitions + padding` slots and the data is scattered in
+    /// a single pass. Overflow aborts with
+    /// [`FpartError::PartitionOverflow`].
+    Pad {
+        /// How much padding each partition gets beyond the mean fill.
+        padding: PaddingSpec,
+    },
+}
+
+impl OutputMode {
+    /// PAD mode with the default padding.
+    pub fn pad_default() -> Self {
+        Self::Pad {
+            padding: PaddingSpec::default(),
+        }
+    }
+
+    /// The paper's `f_mode` factor (Table 3): HIST scans the data twice.
+    pub fn f_mode(self) -> f64 {
+        match self {
+            Self::Hist => 2.0,
+            Self::Pad { .. } => 1.0,
+        }
+    }
+
+    /// Short label for reports ("HIST" / "PAD").
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Hist => "HIST",
+            Self::Pad { .. } => "PAD",
+        }
+    }
+}
+
+/// Padding for PAD mode, resolved against the mean partition fill.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PaddingSpec {
+    /// Extra capacity as a fraction of the mean fill (`0.15` = 15 %).
+    Fraction(f64),
+    /// Extra capacity as an absolute tuple count.
+    Tuples(usize),
+}
+
+impl PaddingSpec {
+    /// Resolve to a per-partition capacity in tuples for `n` tuples over
+    /// `parts` partitions.
+    ///
+    /// The fractional padding is floored at `6·√mean + 2·lanes²`: the
+    /// first term covers the binomial fill deviation of an unskewed
+    /// workload (≈6σ) so small-scale runs do not spuriously overflow, the
+    /// second covers flush dummy padding and per-combiner cache-line
+    /// rounding. [`PaddingSpec::Tuples`] is taken literally (plus the
+    /// structural `2·lanes²` term), so tests can force overflows.
+    pub fn capacity(self, n: usize, parts: usize, lanes: usize) -> usize {
+        let mean = n.div_ceil(parts);
+        let structural = 2 * lanes * lanes;
+        let pad = match self {
+            Self::Fraction(f) => {
+                let frac = ((mean as f64) * f).ceil() as usize;
+                let statistical = (6.0 * (mean as f64).sqrt()).ceil() as usize;
+                frac.max(statistical)
+            }
+            Self::Tuples(t) => t,
+        };
+        mean + pad + structural
+    }
+}
+
+impl Default for PaddingSpec {
+    /// 15 % of the mean fill — "realistic padding" that survives Zipf
+    /// 0.25 but fails beyond it (Section 5.4), verified experimentally in
+    /// this reproduction's figure-13 harness.
+    fn default() -> Self {
+        Self::Fraction(0.15)
+    }
+}
+
+/// Row-store vs column-store input (second binary parameter of
+/// Section 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputMode {
+    /// Record-ID mode: tuples reside in memory as `<key, payload>`.
+    Rid,
+    /// Virtual-record-ID mode: the FPGA reads only the key column and
+    /// appends the key's position as the payload; per input cache line the
+    /// circuit internally generates `key_expansion` tuple lines.
+    Vrid,
+}
+
+impl InputMode {
+    /// Short label for reports ("RID" / "VRID").
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Rid => "RID",
+            Self::Vrid => "VRID",
+        }
+    }
+}
+
+/// Full configuration of one partitioner instantiation.
+#[derive(Debug, Clone)]
+pub struct PartitionerConfig {
+    /// Radix or hash partitioning and the fan-out (Section 4.1: either
+    /// "murmur hashing or a radix-bit operation").
+    pub partition_fn: PartitionFn,
+    /// HIST or PAD output formatting.
+    pub output: OutputMode,
+    /// RID or VRID input.
+    pub input: InputMode,
+    /// Depth of the first-stage FIFOs after the hash modules; their free
+    /// slots throttle read requests (Section 4.3).
+    pub fifo_capacity: usize,
+    /// Depth of each write combiner's output FIFO.
+    pub out_fifo_capacity: usize,
+}
+
+impl PartitionerConfig {
+    /// The paper's default evaluation configuration for a given mode pair:
+    /// murmur hashing, 8192 partitions.
+    pub fn paper_default(output: OutputMode, input: InputMode) -> Self {
+        Self {
+            partition_fn: PartitionFn::Murmur {
+                bits: fpart_hash::PAPER_PARTITION_BITS,
+            },
+            output,
+            input,
+            fifo_capacity: 64,
+            out_fifo_capacity: 8,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partition_fn.fan_out()
+    }
+
+    /// Validate synthesis constraints.
+    pub fn validate(&self) -> Result<()> {
+        let bits = self.partition_fn.bits();
+        if bits == 0 || bits > 20 {
+            return Err(FpartError::InvalidConfig(format!(
+                "partition bits must be in 1..=20 (BRAM budget), got {bits}"
+            )));
+        }
+        if self.fifo_capacity < 4 {
+            return Err(FpartError::InvalidConfig(
+                "first-stage FIFOs need at least 4 slots to cover read latency".into(),
+            ));
+        }
+        if self.out_fifo_capacity < 4 {
+            // The combiner's accept threshold reserves 4 slots for its
+            // in-flight stages (see `WriteCombiner::can_accept`); a
+            // smaller FIFO could never accept a tuple and the pipeline
+            // would deadlock.
+            return Err(FpartError::InvalidConfig(
+                "combiner output FIFOs need at least 4 slots (the can_accept reservation)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Mode label like "HIST/RID" as used in Figure 9.
+    pub fn mode_label(&self) -> String {
+        format!("{}/{}", self.output.label(), self.input.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_mode_matches_table3() {
+        assert_eq!(OutputMode::Hist.f_mode(), 2.0);
+        assert_eq!(OutputMode::pad_default().f_mode(), 1.0);
+    }
+
+    #[test]
+    fn padding_capacity_resolution() {
+        // mean = 100: fractional 15 is floored at the 6·√100 = 60
+        // statistical term, plus structural 2·2² = 8.
+        let cap = PaddingSpec::Fraction(0.15).capacity(10_000, 100, 2);
+        assert_eq!(cap, 100 + 60 + 8);
+        // Large means: the fraction dominates. mean = 100_000 → 15 000 >
+        // 6·316 ≈ 1898.
+        let cap = PaddingSpec::Fraction(0.15).capacity(100_000 * 100, 100, 2);
+        assert_eq!(cap, 100_000 + 15_000 + 8);
+        // Absolute padding is literal (plus structural).
+        let cap = PaddingSpec::Tuples(50).capacity(10_000, 100, 2);
+        assert_eq!(cap, 100 + 50 + 8);
+        let cap = PaddingSpec::Tuples(0).capacity(800, 100, 8);
+        assert_eq!(cap, 8 + 128);
+    }
+
+    #[test]
+    fn paper_default_is_8192_murmur() {
+        let cfg = PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid);
+        assert_eq!(cfg.partitions(), 8192);
+        assert!(cfg.partition_fn.is_hash());
+        assert_eq!(cfg.mode_label(), "HIST/RID");
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid);
+        cfg.partition_fn = PartitionFn::Radix { bits: 25 };
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid);
+        cfg.fifo_capacity = 2;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid);
+        cfg.out_fifo_capacity = 3;
+        assert!(cfg.validate().is_err(), "3 slots can never satisfy can_accept");
+    }
+}

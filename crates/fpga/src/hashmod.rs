@@ -1,0 +1,187 @@
+//! The hash function module (Section 4.1, Code 3).
+//!
+//! "Every tuple in a received cache-line first passes through a hash
+//! function module, which can be configured to do either murmur hashing or
+//! a radix-bit operation. … every calculation is a stage of a pipeline …
+//! the hash function module can produce an output at every clock cycle,
+//! regardless of how many intermediate stages are inserted. The only thing
+//! that increases with additional pipeline stages is the latency. For
+//! murmur hashing the latency is 5 clock cycles."
+//!
+//! One [`HashPipeline`] instance models one lane's module: a shift
+//! register of depth [`fpart_hash::MURMUR32_PIPELINE_STAGES`] (radix mode
+//! uses the same depth so the lanes stay aligned; a synthesis tool would
+//! trim it, but the latency difference is invisible behind QPI latency and
+//! the paper reports hash cost as zero either way).
+
+use fpart_hash::{PartitionFn, MURMUR32_PIPELINE_STAGES};
+use fpart_types::Tuple;
+
+/// A tuple annotated with its partition id, as produced by the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashedTuple<T: Tuple> {
+    /// Partition id (`hash` in Code 4): the N LSBs of the hash value.
+    pub hash: usize,
+    /// The tuple itself, carried alongside the hash.
+    pub tuple: T,
+}
+
+/// One lane's pipelined hash function module.
+#[derive(Debug, Clone)]
+pub struct HashPipeline<T: Tuple> {
+    stages: Vec<Option<HashedTuple<T>>>,
+    partition_fn: PartitionFn,
+    accepted: u64,
+    produced: u64,
+}
+
+impl<T: Tuple> HashPipeline<T> {
+    /// A pipeline computing `partition_fn`, 5 stages deep.
+    pub fn new(partition_fn: PartitionFn) -> Self {
+        Self {
+            stages: vec![None; MURMUR32_PIPELINE_STAGES as usize],
+            partition_fn,
+            accepted: 0,
+            produced: 0,
+        }
+    }
+
+    /// Pipeline depth in cycles.
+    pub fn latency(&self) -> u32 {
+        self.stages.len() as u32
+    }
+
+    /// Clock the pipeline: shift every stage forward and emit the tuple
+    /// (if any) leaving the last stage. `input` enters stage 0; dummies
+    /// are hashed like anything else (hardware cannot skip a lane) — the
+    /// write combiner discards them.
+    ///
+    /// The hash is computed at entry: functionally the partial results
+    /// travelling through intermediate stages are never observed, so only
+    /// the entry value and the exit cycle matter.
+    pub fn clock(&mut self, input: Option<T>) -> Option<HashedTuple<T>> {
+        let out = self.stages.pop().expect("pipeline depth >= 1");
+        let entering = input.map(|tuple| {
+            self.accepted += 1;
+            HashedTuple {
+                hash: self.partition_fn.partition_of(tuple.key()),
+                tuple,
+            }
+        });
+        self.stages.insert(0, entering);
+        if out.is_some() {
+            self.produced += 1;
+        }
+        out
+    }
+
+    /// Tuples currently travelling through the pipeline.
+    pub fn occupancy(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the pipeline holds no tuples (drained).
+    pub fn is_empty(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    /// Tuples accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Tuples emitted so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_types::Tuple8;
+
+    fn murmur13() -> PartitionFn {
+        PartitionFn::Murmur { bits: 13 }
+    }
+
+    #[test]
+    fn latency_is_five_cycles() {
+        // Input presented during cycle k is valid at the output during
+        // cycle k+5 — 5 full clock periods of latency (10 ns at 200 MHz).
+        let mut pipe = HashPipeline::<Tuple8>::new(murmur13());
+        assert_eq!(pipe.latency(), 5);
+        let t = Tuple8::new(42, 0);
+        assert!(pipe.clock(Some(t)).is_none());
+        for _ in 0..4 {
+            assert!(pipe.clock(None).is_none());
+        }
+        let out = pipe.clock(None).expect("emerges 5 cycles after entry");
+        assert_eq!(out.tuple, t);
+        assert_eq!(out.hash, murmur13().partition_of(42u32));
+        assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn one_output_per_cycle_when_full() {
+        // "capable of accepting an input and producing an output at every
+        // clock cycle".
+        let mut pipe = HashPipeline::<Tuple8>::new(murmur13());
+        let mut outputs = 0;
+        for i in 0..100u32 {
+            if pipe.clock(Some(Tuple8::new(i, i as u64))).is_some() {
+                outputs += 1;
+            }
+        }
+        assert_eq!(outputs, 95, "100 inputs, 5 still in flight");
+        assert_eq!(pipe.occupancy(), 5);
+        assert_eq!(pipe.accepted(), 100);
+        assert_eq!(pipe.produced(), 95);
+    }
+
+    #[test]
+    fn preserves_order_and_pairs_hash_with_tuple() {
+        let mut pipe = HashPipeline::<Tuple8>::new(murmur13());
+        let inputs: Vec<Tuple8> = (0..20).map(|i| Tuple8::new(i * 7, i as u64)).collect();
+        let mut outputs = Vec::new();
+        for &t in &inputs {
+            if let Some(o) = pipe.clock(Some(t)) {
+                outputs.push(o);
+            }
+        }
+        while let Some(o) = pipe.clock(None) {
+            outputs.push(o);
+        }
+        assert_eq!(outputs.len(), 20);
+        for (i, o) in outputs.iter().enumerate() {
+            assert_eq!(o.tuple, inputs[i], "FIFO order preserved");
+            assert_eq!(o.hash, murmur13().partition_of(inputs[i].key));
+        }
+    }
+
+    #[test]
+    fn radix_mode_same_latency() {
+        let mut pipe = HashPipeline::<Tuple8>::new(PartitionFn::Radix { bits: 4 });
+        assert_eq!(pipe.latency(), 5);
+        let mut out = None;
+        for c in 0..6 {
+            out = pipe.clock(if c == 0 { Some(Tuple8::new(0xab, 0)) } else { None });
+        }
+        assert_eq!(out.unwrap().hash, 0xb);
+    }
+
+    #[test]
+    fn bubbles_propagate() {
+        let mut pipe = HashPipeline::<Tuple8>::new(murmur13());
+        pipe.clock(Some(Tuple8::new(1, 0)));
+        pipe.clock(None); // bubble
+        pipe.clock(Some(Tuple8::new(2, 0)));
+        let mut seq = Vec::new();
+        for _ in 0..6 {
+            seq.push(pipe.clock(None).map(|o| o.tuple.key));
+        }
+        // Tuple 1 entered at cycle 1 → out at cycle 6, i.e. the 3rd clock
+        // of this drain loop (cycles 4–9); the bubble follows it.
+        assert_eq!(seq, vec![None, None, Some(1), None, Some(2), None]);
+    }
+}

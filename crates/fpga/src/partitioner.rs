@@ -1,0 +1,1021 @@
+//! The top-level partitioner (Figure 5) and its cycle-accurate driver.
+//!
+//! Data path per clock cycle, upstream to downstream:
+//!
+//! ```text
+//! QPI reads ──▶ hash function modules (one per lane, 5-stage pipes)
+//!           ──▶ first-stage FIFOs (their free slots throttle reads, §4.3)
+//!           ──▶ write combiners (one per lane, Code 4)
+//!           ──▶ combiner output FIFOs
+//!           ──▶ write back (round-robin, base/count BRAMs)
+//!           ──▶ last-stage FIFO ──▶ QPI writes
+//! ```
+//!
+//! The driver evaluates the stages drain-first each cycle, which gives
+//! register-transfer semantics: what a stage consumes this cycle is what
+//! its upstream produced in earlier cycles. The QPI endpoint's token
+//! bucket (calibrated on Figure 2) provides the only stalls; with an
+//! unlimited endpoint the circuit moves exactly one line per cycle, which
+//! the test-suite asserts — the paper's headline "fully pipelined, no
+//! internal stalls" property.
+
+use fpart_hwsim::{Fifo, PageAllocator, PageTable, QpiConfig, QpiEndpoint, QpiStats};
+use fpart_types::{
+    ColumnRelation, FpartError, Line, PartitionedRelation, Relation, Result, Tuple,
+    CACHE_LINE_BYTES,
+};
+
+use crate::config::{InputMode, OutputMode, PartitionerConfig};
+use crate::hashmod::HashPipeline;
+use crate::writecomb::{CombinedLine, WriteCombiner};
+use crate::writeback::{AddressedLine, PartitionExtents, WriteBack};
+
+/// The simulated FPGA partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig};
+/// use fpart_hash::PartitionFn;
+/// use fpart_types::{Relation, Tuple8};
+///
+/// let config = PartitionerConfig {
+///     partition_fn: PartitionFn::Murmur { bits: 5 },
+///     ..PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid)
+/// };
+/// let keys: Vec<u32> = (0..4096).map(|i| i * 7 + 1).collect();
+/// let rel = Relation::<Tuple8>::from_keys(&keys);
+///
+/// let (parts, report) = FpgaPartitioner::new(config).partition(&rel)?;
+/// assert_eq!(parts.total_valid(), 4096);
+/// // HIST mode ran two passes over the 512 input lines.
+/// assert!(report.qpi.lines_read >= 1024);
+/// println!("{:.0} Mtuples/s simulated", report.mtuples_per_sec());
+/// # Ok::<(), fpart_types::FpartError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpgaPartitioner {
+    config: PartitionerConfig,
+    qpi: QpiConfig,
+}
+
+/// Everything a partitioning run reports: cycle counts per phase, derived
+/// time and throughput, link statistics, padding overhead.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Mode label, e.g. "HIST/RID".
+    pub mode: String,
+    /// Real (non-dummy) tuples partitioned.
+    pub tuples: u64,
+    /// Cycles spent in the histogram pass (0 in PAD mode).
+    pub hist_cycles: u64,
+    /// Cycles spent in the scatter pass including the flush.
+    pub scatter_cycles: u64,
+    /// FPGA clock this run was timed at (Hz).
+    pub clock_hz: f64,
+    /// QPI statistics summed over both passes.
+    pub qpi: QpiStats,
+    /// Dummy tuple slots written by the flush.
+    pub padding_slots: u64,
+    /// Highest first-stage FIFO occupancy observed.
+    pub lane_fifo_high_water: usize,
+    /// Forwarding-path hits across all combiners (1d, 2d).
+    pub forward_hits: (u64, u64),
+    /// Page-table translations performed.
+    pub translations: u64,
+    /// Periodic samples of the scatter pass: `(cycle, lines_read,
+    /// lines_written)` every [`TIMELINE_INTERVAL`] cycles — lets callers
+    /// plot link utilisation over the run (warm-up, steady state, flush).
+    pub timeline: Vec<(u64, u64, u64)>,
+    /// Endpoint-cache hits and misses for the scatter pass's reads. The
+    /// partitioner streams, so the 128 KB two-way cache essentially never
+    /// hits — the same fact that makes FPGA-socket snoops expensive
+    /// (Section 2.2).
+    pub endpoint_cache: (u64, u64),
+}
+
+/// Cycles between timeline samples in [`RunReport::timeline`].
+pub const TIMELINE_INTERVAL: u64 = 4096;
+
+impl RunReport {
+    /// Total cycles across phases.
+    pub fn total_cycles(&self) -> u64 {
+        self.hist_cycles + self.scatter_cycles
+    }
+
+    /// Wall-clock seconds at the configured FPGA clock.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles() as f64 / self.clock_hz
+    }
+
+    /// End-to-end throughput in million tuples per second — the Figure 8
+    /// and Figure 9 metric.
+    pub fn mtuples_per_sec(&self) -> f64 {
+        self.tuples as f64 / self.seconds() / 1e6
+    }
+
+    /// Total data moved over the link in GB/s — the second Figure 8 axis.
+    pub fn link_gbps(&self) -> f64 {
+        self.qpi.total_bytes() as f64 / self.seconds() / 1e9
+    }
+
+    /// Link line-operations per cycle during the scatter pass (reads +
+    /// writes). The circuit's ceiling is 2.0 (one line in and one out per
+    /// clock); on the HARP link the QPI token bucket caps it well below.
+    pub fn lines_per_cycle(&self) -> f64 {
+        if self.scatter_cycles == 0 {
+            return 0.0;
+        }
+        (self.qpi.lines_read + self.qpi.lines_written) as f64 / self.total_cycles() as f64
+    }
+}
+
+impl FpgaPartitioner {
+    /// A partitioner on the HARP v1 QPI link (Figure 2 FPGA-alone curve).
+    pub fn new(config: PartitionerConfig) -> Self {
+        let curve = fpart_memmodel::BandwidthCurve::fpga_alone();
+        Self {
+            config,
+            qpi: QpiConfig::harp(curve),
+        }
+    }
+
+    /// A partitioner with an explicit QPI model — e.g. the raw 25.6 GB/s
+    /// wrapper of Section 4.7, or [`QpiConfig::unlimited`] for stall-free
+    /// verification.
+    pub fn with_qpi(config: PartitionerConfig, qpi: QpiConfig) -> Self {
+        Self { config, qpi }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PartitionerConfig {
+        &self.config
+    }
+
+    /// Partition a row-store relation (RID mode).
+    ///
+    /// # Errors
+    /// [`FpartError::PartitionOverflow`] in PAD mode under skew — the
+    /// caller is expected to fall back to HIST mode or a CPU partitioner.
+    pub fn partition<T: Tuple>(
+        &self,
+        rel: &Relation<T>,
+    ) -> Result<(PartitionedRelation<T>, RunReport)> {
+        self.config.validate()?;
+        if self.config.input != InputMode::Rid {
+            return Err(FpartError::InvalidConfig(
+                "partition() requires RID input mode; use partition_columns() for VRID".into(),
+            ));
+        }
+        self.run(InputData::Rows(rel.tuples()))
+    }
+
+    /// Partition a column-store relation (VRID mode): only the key column
+    /// is read; tuples carry `(key, position)`.
+    pub fn partition_columns<T: Tuple>(
+        &self,
+        rel: &ColumnRelation<T>,
+    ) -> Result<(PartitionedRelation<T>, RunReport)> {
+        self.config.validate()?;
+        if self.config.input != InputMode::Vrid {
+            return Err(FpartError::InvalidConfig(
+                "partition_columns() requires VRID input mode".into(),
+            ));
+        }
+        self.run(InputData::Keys(rel.keys()))
+    }
+
+    /// Partition a run-length-encoded key column (compressed VRID mode):
+    /// the circuit reads the packed runs — often a fraction of the raw
+    /// key column — and decompresses on chip, "for free … as the first
+    /// step of a processing pipeline" (Discussion). Output tuples carry
+    /// `(key, decoded position)` exactly like plain VRID mode.
+    pub fn partition_rle<T: Tuple>(
+        &self,
+        column: &crate::codec::RleColumn<T::K>,
+    ) -> Result<(PartitionedRelation<T>, RunReport)> {
+        self.config.validate()?;
+        if self.config.input != InputMode::Vrid {
+            return Err(FpartError::InvalidConfig(
+                "partition_rle() requires VRID input mode (it emits key+position tuples)"
+                    .into(),
+            ));
+        }
+        let runs = column.runs();
+        let rpl = runs_per_line::<T::K>();
+        let lines = runs.len().div_ceil(rpl).max(1);
+        let mut line_offsets = Vec::with_capacity(lines);
+        let mut acc = 0u64;
+        for (i, &(_, len)) in runs.iter().enumerate() {
+            if i % rpl == 0 {
+                line_offsets.push(acc);
+            }
+            acc += len as u64;
+        }
+        if line_offsets.is_empty() {
+            line_offsets.push(0);
+        }
+        self.run(InputData::RleKeys {
+            runs,
+            line_offsets,
+            decoded_len: column.decoded_len(),
+        })
+    }
+
+    /// Run only the histogram pass: stream the relation read-only and
+    /// return the per-partition tuple counts plus the cycles the pass
+    /// took — "histograms as a side effect of data movement" (Istvan et
+    /// al., cited in the paper's Discussion). Useful on its own for
+    /// optimizer statistics and as the planning input for PAD sizing.
+    pub fn histogram_only<T: Tuple>(&self, rel: &Relation<T>) -> Result<(Vec<u64>, u64)> {
+        self.config.validate()?;
+        let input = InputData::<T>::Rows(rel.tuples());
+        let pass = HistogramPass::run::<T>(&self.config, self.qpi.clone(), &input);
+        let parts = self.config.partitions();
+        let hist = (0..parts)
+            .map(|p| pass.lane_hists.iter().map(|h| h[p]).sum())
+            .collect();
+        Ok((hist, pass.cycles))
+    }
+
+    fn run<T: Tuple>(&self, input: InputData<'_, T>) -> Result<(PartitionedRelation<T>, RunReport)> {
+        let parts = self.config.partitions();
+        let n = input.tuple_count();
+
+        // Page table covering input + output virtual regions.
+        let mut pagetable = build_pagetable::<T>(&input, parts, n, &self.config.output)?;
+
+        // Phase 1 (HIST only): build per-lane histograms.
+        let (extents, hist_cycles, hist_stats, valid_hint) = match self.config.output {
+            OutputMode::Hist => {
+                let pass = HistogramPass::run::<T>(&self.config, self.qpi.clone(), &input);
+                let valid: Vec<usize> = (0..parts)
+                    .map(|p| pass.lane_hists.iter().map(|h| h[p] as usize).sum())
+                    .collect();
+                (
+                    PartitionExtents::from_lane_histograms(&pass.lane_hists, T::LANES),
+                    pass.cycles,
+                    pass.qpi_stats,
+                    Some(valid),
+                )
+            }
+            OutputMode::Pad { padding } => {
+                let cap_tuples = padding.capacity(n, parts, T::LANES);
+                let cap_lines = cap_tuples.div_ceil(T::LANES) as u64;
+                (
+                    PartitionExtents::fixed(parts, cap_lines),
+                    0,
+                    QpiStats::default(),
+                    None,
+                )
+            }
+        };
+
+        // Allocate the output region.
+        let mut out = match (&valid_hint, &self.config.output) {
+            (Some(valid), _) => {
+                let lines: Vec<usize> =
+                    extents.capacity_lines.iter().map(|&l| l as usize).collect();
+                PartitionedRelation::<T>::with_line_extents(valid, &lines)
+            }
+            (None, OutputMode::Pad { .. }) => PartitionedRelation::<T>::padded(
+                parts,
+                extents.capacity_lines[0] as usize * T::LANES,
+                true,
+            ),
+            (None, OutputMode::Hist) => unreachable!("HIST always produces a histogram"),
+        };
+
+        // Phase 2: scatter.
+        let mut engine = ScatterEngine::<T>::new(
+            &self.config,
+            QpiEndpoint::new(self.qpi.clone()),
+            extents,
+            &input,
+        );
+        let scatter = engine.run(&mut out, &mut pagetable)?;
+
+        let mut qpi = scatter.qpi_stats;
+        qpi.lines_read += hist_stats.lines_read;
+        qpi.lines_written += hist_stats.lines_written;
+        qpi.read_stall_cycles += hist_stats.read_stall_cycles;
+        qpi.write_stall_cycles += hist_stats.write_stall_cycles;
+
+        let report = RunReport {
+            mode: self.config.mode_label(),
+            tuples: n as u64,
+            hist_cycles,
+            scatter_cycles: scatter.cycles,
+            clock_hz: self.qpi.clock_hz,
+            qpi,
+            padding_slots: scatter.padding_slots,
+            lane_fifo_high_water: scatter.lane_fifo_high_water,
+            forward_hits: scatter.forward_hits,
+            translations: pagetable.translations(),
+            timeline: scatter.timeline,
+            endpoint_cache: scatter.endpoint_cache,
+        };
+        Ok((out, report))
+    }
+}
+
+/// RID (rows) vs VRID (bare keys) vs RLE-compressed-VRID input data.
+enum InputData<'a, T: Tuple> {
+    Rows(&'a [T]),
+    Keys(&'a [T::K]),
+    /// Run-length-encoded key column: the circuit reads packed runs and
+    /// per-lane expanders regenerate `(key, position)` tuples on chip.
+    /// `line_offsets[i]` is the decoded position where input line `i`'s
+    /// first tuple lands (VRIDs must be globally consistent while
+    /// `fetch` stays stateless).
+    RleKeys {
+        runs: &'a [(T::K, u8)],
+        line_offsets: Vec<u64>,
+        decoded_len: usize,
+    },
+}
+
+/// Runs per 64 B line in the packed RLE layout (each entry stores the
+/// key word plus a word-aligned length).
+fn runs_per_line<K: fpart_types::Key>() -> usize {
+    CACHE_LINE_BYTES / (2 * std::mem::size_of::<K>())
+}
+
+impl<T: Tuple> InputData<'_, T> {
+    fn tuple_count(&self) -> usize {
+        match self {
+            Self::Rows(r) => r.len(),
+            Self::Keys(k) => k.len(),
+            Self::RleKeys { decoded_len, .. } => *decoded_len,
+        }
+    }
+
+    /// Cache lines the FPGA must *read* for this input.
+    fn input_lines(&self) -> usize {
+        match self {
+            Self::Rows(r) => r.len().div_ceil(T::LANES),
+            Self::Keys(k) => {
+                let keys_per_line = CACHE_LINE_BYTES / std::mem::size_of::<T::K>();
+                k.len().div_ceil(keys_per_line)
+            }
+            Self::RleKeys { runs, .. } => runs.len().div_ceil(runs_per_line::<T::K>()),
+        }
+    }
+
+    /// Tuple lines generated inside the circuit per input line ("for each
+    /// cache-line the FPGA receives, two cache-lines are generated
+    /// internally", Section 4.7 — general for all widths).
+    fn expansion(&self) -> usize {
+        match self {
+            Self::Rows(_) => 1,
+            Self::Keys(_) => {
+                let keys_per_line = CACHE_LINE_BYTES / std::mem::size_of::<T::K>();
+                keys_per_line / T::LANES
+            }
+            // Worst case: every run in the line is MAX_RUN long.
+            Self::RleKeys { .. } => {
+                (runs_per_line::<T::K>() * crate::codec::MAX_RUN as usize).div_ceil(T::LANES)
+            }
+        }
+    }
+
+    /// Materialise the tuple lines for input line `idx` into `sink`.
+    fn fetch(&self, idx: usize, sink: &mut Vec<Line<T>>) {
+        match self {
+            Self::Rows(rows) => {
+                let start = idx * T::LANES;
+                let end = (start + T::LANES).min(rows.len());
+                sink.push(Line::from_partial(&rows[start..end]));
+            }
+            Self::Keys(keys) => {
+                let keys_per_line = CACHE_LINE_BYTES / std::mem::size_of::<T::K>();
+                let start = idx * keys_per_line;
+                let end = (start + keys_per_line).min(keys.len());
+                // The circuit appends the key's position as the virtual
+                // record id (Section 4.5).
+                let mut lane_buf: Vec<T> = Vec::with_capacity(T::LANES);
+                for chunk_start in (start..end).step_by(T::LANES) {
+                    lane_buf.clear();
+                    for pos in chunk_start..(chunk_start + T::LANES).min(end) {
+                        lane_buf.push(T::new(keys[pos], pos as u64));
+                    }
+                    sink.push(Line::from_partial(&lane_buf));
+                }
+            }
+            Self::RleKeys {
+                runs,
+                line_offsets,
+                ..
+            } => {
+                let rpl = runs_per_line::<T::K>();
+                let start = idx * rpl;
+                let end = (start + rpl).min(runs.len());
+                let mut pos = line_offsets[idx];
+                let mut lane_buf: Vec<T> = Vec::with_capacity(T::LANES);
+                for &(key, len) in &runs[start..end] {
+                    for _ in 0..len {
+                        lane_buf.push(T::new(key, pos));
+                        pos += 1;
+                        if lane_buf.len() == T::LANES {
+                            sink.push(Line::from_slice(&lane_buf));
+                            lane_buf.clear();
+                        }
+                    }
+                }
+                if !lane_buf.is_empty() {
+                    sink.push(Line::from_partial(&lane_buf));
+                }
+            }
+        }
+    }
+}
+
+/// Construct the page table mapping the input and (upper-bound) output
+/// virtual regions.
+fn build_pagetable<T: Tuple>(
+    input: &InputData<'_, T>,
+    parts: usize,
+    n: usize,
+    output: &OutputMode,
+) -> Result<PageTable> {
+    let input_bytes = input.input_lines() as u64 * CACHE_LINE_BYTES as u64;
+    // Upper bound on output: every partition padded to whole lines per
+    // lane, plus PAD padding.
+    let out_tuples = match output {
+        OutputMode::Hist => n + parts * T::LANES * T::LANES,
+        OutputMode::Pad { padding } => parts * padding.capacity(n, parts, T::LANES),
+    };
+    let out_bytes = (out_tuples * T::WIDTH) as u64 + CACHE_LINE_BYTES as u64;
+    let pages = PageTable::pages_for(input_bytes) + PageTable::pages_for(out_bytes) + 1;
+    let mut alloc = PageAllocator::new((pages as u64 + 2) * fpart_hwsim::PAGE_BYTES);
+    let frames = alloc.allocate(pages)?;
+    let mut pt = PageTable::new(pages);
+    pt.populate(&frames)?;
+    Ok(pt)
+}
+
+/// Result of the histogram pass.
+struct HistogramPass {
+    lane_hists: Vec<Vec<u64>>,
+    cycles: u64,
+    qpi_stats: QpiStats,
+    _marker: std::marker::PhantomData<()>,
+}
+
+impl HistogramPass {
+    /// Stream the input read-only, counting tuples per (lane, partition)
+    /// through the hash pipelines. No data is written back (Section 4.5:
+    /// "During the first pass, no data is written back, and the histogram
+    /// is built using an internal BRAM").
+    fn run<T: Tuple>(
+        cfg: &PartitionerConfig,
+        qpi_cfg: QpiConfig,
+        input: &InputData<'_, T>,
+    ) -> Self {
+        let parts = cfg.partitions();
+        let mut qpi = QpiEndpoint::new(qpi_cfg);
+        let mut pipes: Vec<HashPipeline<T>> =
+            (0..T::LANES).map(|_| HashPipeline::new(cfg.partition_fn)).collect();
+        let mut lane_hists = vec![vec![0u64; parts]; T::LANES];
+
+        let total_lines = input.input_lines();
+        let expansion = input.expansion();
+        let mut read_cursor = 0usize;
+        let mut pending: std::collections::VecDeque<Line<T>> = Default::default();
+        let mut fetch_buf: Vec<Line<T>> = Vec::with_capacity(expansion);
+        let mut cycles = 0u64;
+
+        loop {
+            let pipes_busy = pipes.iter().any(|p| !p.is_empty());
+            if read_cursor >= total_lines
+                && qpi.reads_in_flight() == 0
+                && pending.is_empty()
+                && !pipes_busy
+            {
+                break;
+            }
+            cycles += 1;
+            qpi.tick();
+
+            // Deliver one tuple line into the hash pipes.
+            let line = pending.pop_front();
+            for (lane, pipe) in pipes.iter_mut().enumerate() {
+                let tuple = line.as_ref().map(|l| l.lane(lane));
+                if let Some(out) = pipe.clock(tuple.filter(|t| !t.is_dummy())) {
+                    lane_hists[lane][out.hash] += 1;
+                }
+            }
+
+            // Accept one read response.
+            if let Some(tag) = qpi.pop_ready_read() {
+                fetch_buf.clear();
+                input.fetch(tag as usize, &mut fetch_buf);
+                pending.extend(fetch_buf.drain(..));
+            }
+
+            // Issue a new request while the in-flight window has room.
+            let committed = pending.len() + qpi.reads_in_flight() * expansion;
+            if read_cursor < total_lines
+                && committed + expansion <= cfg.fifo_capacity
+                && qpi.try_read(read_cursor as u64)
+            {
+                read_cursor += 1;
+            }
+        }
+
+        Self {
+            lane_hists,
+            cycles,
+            qpi_stats: qpi.stats(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Result of the scatter pass.
+struct ScatterResult {
+    cycles: u64,
+    qpi_stats: QpiStats,
+    padding_slots: u64,
+    lane_fifo_high_water: usize,
+    forward_hits: (u64, u64),
+    timeline: Vec<(u64, u64, u64)>,
+    endpoint_cache: (u64, u64),
+}
+
+/// The full-pipeline engine of Figure 5.
+struct ScatterEngine<'a, T: Tuple> {
+    cfg: &'a PartitionerConfig,
+    qpi: QpiEndpoint,
+    pipes: Vec<HashPipeline<T>>,
+    lane_fifos: Vec<Fifo<crate::hashmod::HashedTuple<T>>>,
+    combiners: Vec<WriteCombiner<T>>,
+    out_fifos: Vec<Fifo<CombinedLine<T>>>,
+    writeback: WriteBack<T>,
+    wb_fifo: Fifo<AddressedLine<T>>,
+    input: &'a InputData<'a, T>,
+    /// Virtual line index where the output region starts (input region
+    /// precedes it).
+    out_base_line: u64,
+    /// The QPI endpoint's 128 KB two-way cache (Section 2.1), checked on
+    /// every read the engine issues.
+    endpoint_cache: fpart_hwsim::SetAssociativeCache,
+}
+
+impl<'a, T: Tuple> ScatterEngine<'a, T> {
+    fn new(
+        cfg: &'a PartitionerConfig,
+        qpi: QpiEndpoint,
+        extents: PartitionExtents,
+        input: &'a InputData<'a, T>,
+    ) -> Self {
+        let pad_mode = matches!(cfg.output, OutputMode::Pad { .. });
+        Self {
+            cfg,
+            qpi,
+            pipes: (0..T::LANES).map(|_| HashPipeline::new(cfg.partition_fn)).collect(),
+            lane_fifos: (0..T::LANES).map(|_| Fifo::new(cfg.fifo_capacity)).collect(),
+            combiners: (0..T::LANES).map(|_| WriteCombiner::new(cfg.partitions())).collect(),
+            out_fifos: (0..T::LANES).map(|_| Fifo::new(cfg.out_fifo_capacity)).collect(),
+            writeback: WriteBack::new(extents, T::LANES, pad_mode),
+            wb_fifo: Fifo::new(8),
+            out_base_line: input.input_lines() as u64,
+            input,
+            endpoint_cache: fpart_hwsim::SetAssociativeCache::harp_endpoint_cache(),
+        }
+    }
+
+    fn run(
+        &mut self,
+        out: &mut PartitionedRelation<T>,
+        pagetable: &mut PageTable,
+    ) -> Result<ScatterResult> {
+        let total_lines = self.input.input_lines();
+        let expansion = self.input.expansion();
+        let mut read_cursor = 0usize;
+        let mut pending: std::collections::VecDeque<Line<T>> = Default::default();
+        let mut fetch_buf: Vec<Line<T>> = Vec::with_capacity(expansion);
+        let mut cycles = 0u64;
+        let mut flushing = false;
+        let mut lines_written: Vec<u64> = vec![0; out.num_partitions()];
+        let mut valid_written: Vec<u64> = vec![0; out.num_partitions()];
+        let mut timeline: Vec<(u64, u64, u64)> = Vec::new();
+
+        loop {
+            cycles += 1;
+            self.qpi.tick();
+            if cycles.is_multiple_of(TIMELINE_INTERVAL) {
+                let s = self.qpi.stats();
+                timeline.push((cycles, s.lines_read, s.lines_written));
+            }
+
+            // (1) QPI write issue: commit the oldest addressed line.
+            if self.wb_fifo.peek().is_some() && self.qpi.try_write() {
+                let (part, dest_line, line) = self.wb_fifo.pop().expect("peeked");
+                // Address translation for the write (virtual → physical).
+                let vaddr = (self.out_base_line + dest_line) * CACHE_LINE_BYTES as u64;
+                let _paddr = pagetable.translate(vaddr)?;
+                let base_slot = dest_line as usize * T::LANES;
+                let dst = &mut out.raw_data_mut()[base_slot..base_slot + T::LANES];
+                dst.copy_from_slice(line.tuples());
+                lines_written[part] += 1;
+                valid_written[part] += line.valid_count() as u64;
+            }
+
+            // (2) Write back: pop one combined line (round robin over
+            // non-empty FIFOs) when the last-stage FIFO has headroom.
+            let wb_input = if self.wb_fifo.free_slots() >= 2 {
+                let mut popped = None;
+                for _ in 0..T::LANES {
+                    let lane = self.writeback.rr_lane();
+                    self.writeback.advance_rr();
+                    if let Some(cl) = self.out_fifos[lane].pop() {
+                        popped = Some(cl);
+                        break;
+                    }
+                }
+                popped
+            } else {
+                None
+            };
+            if let Some(addressed) = self.writeback.clock(wb_input)? {
+                self.wb_fifo
+                    .push(addressed)
+                    .unwrap_or_else(|_| unreachable!("headroom reserved before input"));
+            }
+
+            // (3) Write combiners.
+            for lane in 0..T::LANES {
+                let free = self.out_fifos[lane].free_slots();
+                let can = self.combiners[lane].can_accept(free);
+                let input = if can { self.lane_fifos[lane].pop() } else { None };
+                if input.is_some() {
+                    self.writeback.note_consumed(1);
+                }
+                if let Some(line) = self.combiners[lane].clock(input, free > 0) {
+                    self.out_fifos[lane]
+                        .push(line)
+                        .unwrap_or_else(|_| unreachable!("can_accept reserves output room"));
+                }
+            }
+
+            // (4) Hash pipelines consume one tuple line.
+            let line = pending.pop_front();
+            for (lane, pipe) in self.pipes.iter_mut().enumerate() {
+                let tuple = line.as_ref().map(|l| l.lane(lane));
+                if let Some(out_t) = pipe.clock(tuple.filter(|t| !t.is_dummy())) {
+                    self.lane_fifos[lane]
+                        .push(out_t)
+                        .unwrap_or_else(|_| unreachable!("read throttling bounds occupancy"));
+                }
+            }
+
+            // (5) Read responses.
+            if let Some(tag) = self.qpi.pop_ready_read() {
+                fetch_buf.clear();
+                self.input.fetch(tag as usize, &mut fetch_buf);
+                pending.extend(fetch_buf.drain(..));
+            }
+
+            // (6) Read requests, throttled by first-stage FIFO occupancy
+            // (Section 4.3).
+            let fifo_occupancy = self.lane_fifos.iter().map(Fifo::len).max().unwrap_or(0);
+            let pipe_occupancy = self.pipes.iter().map(HashPipeline::occupancy).max().unwrap_or(0);
+            let committed = pending.len()
+                + self.qpi.reads_in_flight() * expansion
+                + pipe_occupancy
+                + fifo_occupancy;
+            if read_cursor < total_lines && committed + expansion <= self.cfg.fifo_capacity {
+                // Translate the input address (the page table is pipelined;
+                // throughput-neutral).
+                let vaddr = read_cursor as u64 * CACHE_LINE_BYTES as u64;
+                let _paddr = pagetable.translate(vaddr)?;
+                if self.qpi.try_read(read_cursor as u64) {
+                    self.endpoint_cache.access(vaddr);
+                    read_cursor += 1;
+                }
+            }
+
+            // Flush once the scatter datapath has drained (including read
+            // responses still travelling over QPI).
+            if !flushing
+                && read_cursor >= total_lines
+                && self.qpi.reads_in_flight() == 0
+                && pending.is_empty()
+                && self.pipes.iter().all(HashPipeline::is_empty)
+                && self.lane_fifos.iter().all(Fifo::is_empty)
+                && self.combiners.iter().all(|c| c.in_flight() == 0)
+            {
+                for c in &mut self.combiners {
+                    c.start_flush();
+                }
+                flushing = true;
+            }
+
+            if flushing
+                && self.combiners.iter().all(|c| c.flush_done() && c.in_flight() == 0)
+                && self.out_fifos.iter().all(Fifo::is_empty)
+                && self.writeback.in_flight() == 0
+                && self.wb_fifo.is_empty()
+            {
+                debug_assert!(
+                    self.lane_fifos.iter().all(Fifo::is_empty)
+                        && self.pipes.iter().all(HashPipeline::is_empty)
+                        && pending.is_empty(),
+                    "datapath must be empty at termination"
+                );
+                break;
+            }
+        }
+
+        // Publish per-partition fill metadata.
+        for p in 0..out.num_partitions() {
+            out.set_partition_fill(
+                p,
+                lines_written[p] as usize * T::LANES,
+                valid_written[p] as usize,
+            );
+        }
+
+        let padding_slots = self
+            .combiners
+            .iter()
+            .map(|c| c.stats().flush_dummies)
+            .sum();
+        let forward_hits = self.combiners.iter().fold((0, 0), |acc, c| {
+            let s = c.stats();
+            (acc.0 + s.forward_1d_hits, acc.1 + s.forward_2d_hits)
+        });
+
+        Ok(ScatterResult {
+            cycles,
+            qpi_stats: self.qpi.stats(),
+            padding_slots,
+            lane_fifo_high_water: self.lane_fifos.iter().map(Fifo::high_water).max().unwrap_or(0),
+            forward_hits,
+            timeline,
+            endpoint_cache: (self.endpoint_cache.hits(), self.endpoint_cache.misses()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::KeyDistribution;
+    use fpart_hash::PartitionFn;
+    use fpart_types::relation::content_checksum;
+    use fpart_types::{Tuple16, Tuple64, Tuple8};
+
+    fn config(bits: u32, output: OutputMode, input: InputMode) -> PartitionerConfig {
+        PartitionerConfig {
+            partition_fn: PartitionFn::Murmur { bits },
+            output,
+            input,
+            fifo_capacity: 64,
+            out_fifo_capacity: 8,
+        }
+    }
+
+    fn rel(n: usize) -> Relation<Tuple8> {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(n, 42);
+        Relation::from_keys(&keys)
+    }
+
+    /// Every tuple lands in the partition its hash says, and the multiset
+    /// of (key, payload) pairs is preserved.
+    fn assert_correct_partitioning<T: Tuple>(
+        input_tuples: &[T],
+        out: &PartitionedRelation<T>,
+        f: PartitionFn,
+    ) {
+        assert_eq!(out.total_valid(), input_tuples.len());
+        for p in 0..out.num_partitions() {
+            for t in out.partition_tuples(p) {
+                assert_eq!(f.partition_of(t.key()), p, "tuple in wrong partition");
+            }
+        }
+        let expect = content_checksum(input_tuples.iter().copied());
+        let got = content_checksum(out.all_tuples());
+        assert_eq!(expect, got, "partitioning must be a permutation");
+    }
+
+    #[test]
+    fn pad_rid_partitions_correctly() {
+        let r = rel(5000);
+        let cfg = config(6, OutputMode::pad_default(), InputMode::Rid);
+        let f = cfg.partition_fn;
+        let p = FpgaPartitioner::new(cfg);
+        let (out, report) = p.partition(&r).unwrap();
+        assert_correct_partitioning(r.tuples(), &out, f);
+        assert_eq!(report.tuples, 5000);
+        assert_eq!(report.hist_cycles, 0);
+        assert!(report.scatter_cycles > 0);
+        assert_eq!(report.mode, "PAD/RID");
+    }
+
+    #[test]
+    fn hist_rid_partitions_correctly_with_two_passes() {
+        let r = rel(5000);
+        let cfg = config(6, OutputMode::Hist, InputMode::Rid);
+        let f = cfg.partition_fn;
+        let p = FpgaPartitioner::new(cfg);
+        let (out, report) = p.partition(&r).unwrap();
+        assert_correct_partitioning(r.tuples(), &out, f);
+        assert!(report.hist_cycles > 0, "HIST runs a first pass");
+        // The histogram pass reads the whole input once more.
+        assert!(report.qpi.lines_read >= 2 * (5000 / 8) as u64);
+        assert_eq!(report.mode, "HIST/RID");
+    }
+
+    #[test]
+    fn hist_layout_is_tight() {
+        // HIST minimises intermediate memory: allocation is bounded by
+        // valid + per-lane line padding.
+        let r = rel(10_000);
+        let cfg = config(4, OutputMode::Hist, InputMode::Rid);
+        let p = FpgaPartitioner::new(cfg);
+        let (out, _) = p.partition(&r).unwrap();
+        let max_padding = 16 * Tuple8::LANES * Tuple8::LANES; // parts × lanes × (lanes-1) rounded up
+        assert!(out.allocated_slots() <= 10_000 + max_padding);
+        // And every allocated line was actually written (written == capacity).
+        for p_ in 0..out.num_partitions() {
+            assert_eq!(out.partition_written(p_), out.partition_capacity(p_));
+        }
+    }
+
+    #[test]
+    fn vrid_reads_half_the_lines() {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(4096, 1);
+        let col = ColumnRelation::<Tuple8>::from_keys(&keys);
+        let cfg = config(5, OutputMode::pad_default(), InputMode::Vrid);
+        let p = FpgaPartitioner::new(cfg.clone());
+        let (out, report) = p.partition_columns(&col).unwrap();
+
+        // Payloads are the positions; materialisation restores the pairs.
+        assert_eq!(out.total_valid(), 4096);
+        for part in 0..out.num_partitions() {
+            for t in out.partition_tuples(part) {
+                assert_eq!(keys[t.payload as usize], t.key, "vrid points at its row");
+                assert_eq!(cfg.partition_fn.partition_of(t.key), part);
+            }
+        }
+        // 4096 u32 keys = 256 key lines read; 4096 tuples ≈ 512+ lines written.
+        assert_eq!(report.qpi.lines_read, 256);
+        assert!(report.qpi.lines_written >= 512);
+    }
+
+    #[test]
+    fn pad_overflow_aborts_under_skew() {
+        // All tuples to one partition with tiny padding → overflow.
+        let keys = vec![7u32; 4096];
+        let r = Relation::<Tuple8>::from_keys(&keys);
+        let cfg = PartitionerConfig {
+            partition_fn: PartitionFn::Murmur { bits: 6 },
+            output: OutputMode::Pad {
+                padding: crate::config::PaddingSpec::Tuples(0),
+            },
+            input: InputMode::Rid,
+            fifo_capacity: 64,
+            out_fifo_capacity: 8,
+        };
+        let p = FpgaPartitioner::new(cfg);
+        let err = p.partition(&r).unwrap_err();
+        assert!(matches!(err, FpartError::PartitionOverflow { .. }));
+    }
+
+    #[test]
+    fn hist_mode_handles_full_skew() {
+        // The same all-one-partition input succeeds in HIST mode
+        // ("the HIST mode must be used to ensure no overflow occurs").
+        let keys = vec![7u32; 4096];
+        let r = Relation::<Tuple8>::from_keys(&keys);
+        let cfg = config(6, OutputMode::Hist, InputMode::Rid);
+        let p = FpgaPartitioner::new(cfg);
+        let (out, _) = p.partition(&r).unwrap();
+        assert_eq!(out.total_valid(), 4096);
+        let target = PartitionFn::Murmur { bits: 6 }.partition_of(7u32);
+        assert_eq!(out.partition_valid(target), 4096);
+    }
+
+    /// The headline property: with unconstrained bandwidth the circuit
+    /// sustains one cache line per clock — cycles ≈ input lines + small
+    /// constant latency + flush.
+    #[test]
+    fn stall_free_at_unlimited_bandwidth() {
+        let n = 8192usize;
+        let r = rel(n);
+        let cfg = config(4, OutputMode::pad_default(), InputMode::Rid);
+        let p = FpgaPartitioner::with_qpi(cfg, QpiConfig::unlimited(200e6));
+        let (_, report) = p.partition(&r).unwrap();
+        let input_lines = (n / 8) as u64;
+        let flush = 16 * 8; // partitions × lanes
+        let slack = 80; // pipeline fill + FIFO latencies
+        assert!(
+            report.scatter_cycles <= input_lines + flush as u64 + slack,
+            "took {} cycles for {} lines (+{} flush)",
+            report.scatter_cycles,
+            input_lines,
+            flush
+        );
+        assert_eq!(report.qpi.read_stall_cycles, 0);
+        assert_eq!(report.qpi.write_stall_cycles, 0);
+    }
+
+    #[test]
+    fn qpi_bandwidth_bounds_throughput() {
+        // On the HARP link the same run is slower and shows stalls.
+        let r = rel(8192);
+        let cfg = config(4, OutputMode::pad_default(), InputMode::Rid);
+        let unlimited = FpgaPartitioner::with_qpi(cfg.clone(), QpiConfig::unlimited(200e6));
+        let harp = FpgaPartitioner::new(cfg);
+        let (_, fast) = unlimited.partition(&r).unwrap();
+        let (_, slow) = harp.partition(&r).unwrap();
+        assert!(
+            slow.scatter_cycles > fast.scatter_cycles * 2,
+            "QPI-bound run ({}) should be >2x slower than unlimited ({})",
+            slow.scatter_cycles,
+            fast.scatter_cycles
+        );
+    }
+
+    #[test]
+    fn wide_tuples_work() {
+        let keys: Vec<u64> = KeyDistribution::Random.generate_keys(2000, 5);
+        let r16 = Relation::<Tuple16>::from_keys(&keys);
+        let cfg = config(4, OutputMode::Hist, InputMode::Rid);
+        let f = cfg.partition_fn;
+        let p = FpgaPartitioner::new(cfg);
+        let (out, _) = p.partition(&r16).unwrap();
+        assert_correct_partitioning(r16.tuples(), &out, f);
+
+        let r64 = Relation::<Tuple64>::from_keys(&keys);
+        let cfg = config(4, OutputMode::pad_default(), InputMode::Rid);
+        let p = FpgaPartitioner::new(cfg);
+        let (out, report) = p.partition(&r64).unwrap();
+        assert_correct_partitioning(r64.tuples(), &out, f);
+        // 64 B tuples: one per line; reads == tuples.
+        assert_eq!(report.qpi.lines_read, 2000);
+    }
+
+    #[test]
+    fn non_line_multiple_input() {
+        let r = rel(1003); // not a multiple of 8
+        let cfg = config(4, OutputMode::Hist, InputMode::Rid);
+        let f = cfg.partition_fn;
+        let p = FpgaPartitioner::new(cfg);
+        let (out, report) = p.partition(&r).unwrap();
+        assert_correct_partitioning(r.tuples(), &out, f);
+        assert_eq!(report.tuples, 1003);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = Relation::<Tuple8>::from_tuples(&[]);
+        let cfg = config(4, OutputMode::Hist, InputMode::Rid);
+        let p = FpgaPartitioner::new(cfg);
+        let (out, report) = p.partition(&r).unwrap();
+        assert_eq!(out.total_valid(), 0);
+        assert_eq!(report.tuples, 0);
+    }
+
+    #[test]
+    fn mode_mismatch_is_rejected() {
+        let r = rel(100);
+        let cfg = config(4, OutputMode::Hist, InputMode::Vrid);
+        let p = FpgaPartitioner::new(cfg);
+        assert!(matches!(
+            p.partition(&r).unwrap_err(),
+            FpartError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn radix_partitioning_also_works() {
+        let r = rel(3000);
+        let cfg = PartitionerConfig {
+            partition_fn: PartitionFn::Radix { bits: 5 },
+            output: OutputMode::Hist,
+            input: InputMode::Rid,
+            fifo_capacity: 64,
+            out_fifo_capacity: 8,
+        };
+        let f = cfg.partition_fn;
+        let p = FpgaPartitioner::new(cfg);
+        let (out, _) = p.partition(&r).unwrap();
+        assert_correct_partitioning(r.tuples(), &out, f);
+    }
+
+    #[test]
+    fn report_derivations() {
+        let r = rel(4096);
+        let cfg = config(5, OutputMode::pad_default(), InputMode::Rid);
+        let p = FpgaPartitioner::new(cfg);
+        let (_, report) = p.partition(&r).unwrap();
+        assert!(report.seconds() > 0.0);
+        assert!(report.mtuples_per_sec() > 0.0);
+        assert!(report.link_gbps() > 0.0);
+        assert_eq!(report.total_cycles(), report.scatter_cycles);
+        assert!(report.translations > 0, "page table is exercised");
+    }
+}

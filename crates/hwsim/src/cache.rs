@@ -1,0 +1,196 @@
+//! The QPI endpoint's FPGA-local cache.
+//!
+//! "This end-point also implements a 128 KB two-way associative FPGA-local
+//! cache, using the Block-RAM (BRAM) resources." (Section 2.1)
+//!
+//! The partitioner streams data and barely benefits, but the cache is part
+//! of the platform (its BRAM cost appears in the resource budget and its
+//! existence explains why FPGA-socket snoops almost always miss —
+//! Section 2.2). We model a set-associative cache with LRU replacement
+//! and hit/miss statistics; the circuit can optionally route reads
+//! through it.
+
+use fpart_types::CACHE_LINE_BYTES;
+
+/// A set-associative cache over 64 B lines with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct SetAssociativeCache {
+    /// `sets × ways` tags; `None` = invalid.
+    tags: Vec<Option<u64>>,
+    /// Monotone use-stamps for LRU.
+    stamps: Vec<u64>,
+    sets: usize,
+    ways: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssociativeCache {
+    /// A cache of `capacity_bytes` organised as `ways`-way sets of 64 B
+    /// lines.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide evenly or is empty.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "at least one way");
+        let lines = capacity_bytes / CACHE_LINE_BYTES;
+        assert!(lines > 0 && lines.is_multiple_of(ways), "invalid cache geometry");
+        let sets = lines / ways;
+        Self {
+            tags: vec![None; lines],
+            stamps: vec![0; lines],
+            sets,
+            ways,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's endpoint cache: 128 KB, two-way.
+    pub fn harp_endpoint_cache() -> Self {
+        Self::new(128 << 10, 2)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Access the line containing byte address `addr`; allocates on miss.
+    /// Returns whether it hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line_addr = addr / CACHE_LINE_BYTES as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+
+        if let Some(way) = ways.iter().position(|&t| t == Some(line_addr)) {
+            self.stamps[base + way] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // LRU victim: invalid way first, else the stalest stamp.
+        let victim = match ways.iter().position(|t| t.is_none()) {
+            Some(w) => w,
+            None => {
+                let stamps = &self.stamps[base..base + self.ways];
+                stamps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &s)| s)
+                    .map(|(w, _)| w)
+                    .expect("ways > 0")
+            }
+        };
+        self.tags[base + victim] = Some(line_addr);
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Whether a line is currently cached (no allocation, no stats).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr / CACHE_LINE_BYTES as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&Some(line_addr))
+    }
+
+    /// Invalidate everything (e.g. on a coherence flush).
+    pub fn invalidate_all(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harp_geometry() {
+        let c = SetAssociativeCache::harp_endpoint_cache();
+        assert_eq!(c.sets() * c.ways() * CACHE_LINE_BYTES, 128 << 10);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.sets(), 1024);
+    }
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = SetAssociativeCache::new(1024, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63), "same line as address 0");
+        assert!(!c.access(64), "next line misses");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_stalest_way() {
+        // 2 sets × 2 ways of 64 B = 256 B cache. Lines 0, 2, 4 all map to
+        // set 0.
+        let mut c = SetAssociativeCache::new(256, 2);
+        c.access(0);
+        c.access(2 * 64);
+        c.access(0); // refresh line 0 → line 2 is LRU
+        c.access(4 * 64); // evicts line 2
+        assert!(c.probe(0));
+        assert!(!c.probe(2 * 64));
+        assert!(c.probe(4 * 64));
+    }
+
+    #[test]
+    fn streaming_pattern_mostly_misses() {
+        // The partitioner's access pattern: every line touched once.
+        let mut c = SetAssociativeCache::harp_endpoint_cache();
+        for i in 0..100_000u64 {
+            c.access(i * 64);
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 100_000);
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut c = SetAssociativeCache::new(1024, 2);
+        c.access(0);
+        assert!(c.probe(0));
+        c.invalidate_all();
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn bad_geometry_rejected() {
+        let _ = SetAssociativeCache::new(96, 2); // 1.5 lines
+    }
+}

@@ -1,0 +1,36 @@
+//! # fpart-hwsim
+//!
+//! A small cycle-level hardware-simulation kernel, built to host the
+//! paper's partitioner circuit (crate `fpart-fpga`) but independent of it.
+//!
+//! The paper's central hardware claim is *architectural*: the partitioner
+//! is "fully pipelined … with no internal stalls or locks, capable of
+//! accepting an input and producing an output at every clock cycle"
+//! (Section 4). Demonstrating that claim in software needs exactly the
+//! primitives a VHDL designer reasons with:
+//!
+//! * [`Fifo`] — bounded queues whose *fullness* is the backpressure signal
+//!   ("we handle this by issuing only so many read requests as there are
+//!   free slots in the first stage FIFOs", Section 4.3);
+//! * [`Bram`] — block RAM with 1–2 cycle read latency, the component whose
+//!   latency forces the forwarding-register design of Code 4;
+//! * [`QpiEndpoint`] — the cache-coherent link, modelled as a token bucket
+//!   fed by the calibrated Figure 2 bandwidth curves, with adaptive
+//!   read/write-mix tracking;
+//! * [`PageTable`] / [`PageAllocator`] — the 4 MB-page virtual-memory
+//!   scheme of Section 2.1, including the 2-cycle pipelined translation;
+//! * [`SetAssociativeCache`] — the QPI endpoint's 128 KB two-way cache.
+
+#![warn(missing_docs)]
+
+pub mod bram;
+pub mod cache;
+pub mod fifo;
+pub mod pagetable;
+pub mod qpi;
+
+pub use bram::Bram;
+pub use cache::SetAssociativeCache;
+pub use fifo::Fifo;
+pub use pagetable::{PageAllocator, PageTable, PAGE_BYTES, TRANSLATION_LATENCY};
+pub use qpi::{QpiConfig, QpiEndpoint, QpiStats};

@@ -1,0 +1,328 @@
+//! The QPI endpoint: bandwidth-limited, latency-modelled access to the
+//! shared memory pool.
+//!
+//! The accelerator sees memory through an "encrypted QPI end-point module
+//! provided by Intel" (Section 2.1). For the partitioner its observable
+//! behaviour is (a) a combined read+write bandwidth that depends on the
+//! traffic mix (Figure 2) and (b) backpressure: "the QPI bandwidth cannot
+//! handle this and puts back-pressure on the write back module"
+//! (Section 4.3).
+//!
+//! The model is a token bucket: each FPGA clock cycle deposits
+//! `B(mix) / f_FPGA` bytes of credit; granting a 64 B read or write
+//! consumes 64 credits. The mix-dependent rate is re-evaluated from the
+//! endpoint's own cumulative read/write counters, so a HIST first pass
+//! (pure read) automatically enjoys a different operating point than the
+//! write-heavy scatter phase — matching how the paper applies `B(r)` per
+//! phase in Section 4.8.
+
+use std::collections::VecDeque;
+
+use fpart_memmodel::{BandwidthCurve, RwMix};
+use fpart_types::CACHE_LINE_BYTES;
+
+/// Configuration of a [`QpiEndpoint`].
+#[derive(Debug, Clone)]
+pub struct QpiConfig {
+    /// The bandwidth curve this link obeys (Figure 2 / raw wrapper).
+    pub curve: BandwidthCurve,
+    /// FPGA clock the endpoint is driven at (Hz); with the curve this
+    /// yields bytes of credit per cycle.
+    pub clock_hz: f64,
+    /// Read response latency in cycles (grant → data available). QPI
+    /// round trips are ~100 ns ≈ 20 cycles at 200 MHz; only affects
+    /// pipeline fill, not throughput.
+    pub read_latency: u32,
+    /// Credit cap in bytes (burst size). A few cache lines: QPI can have
+    /// several requests in flight but not arbitrarily many.
+    pub max_credit: f64,
+    /// How often (in cycles) to re-evaluate the mix-dependent rate.
+    pub mix_update_interval: u64,
+}
+
+impl QpiConfig {
+    /// The standard endpoint of the HARP v1 platform at 200 MHz.
+    pub fn harp(curve: BandwidthCurve) -> Self {
+        Self {
+            curve,
+            clock_hz: 200e6,
+            read_latency: 20,
+            max_credit: 16.0 * CACHE_LINE_BYTES as f64,
+            mix_update_interval: 256,
+        }
+    }
+
+    /// An endpoint with effectively unlimited bandwidth — used to verify
+    /// the circuit's stall-free one-line-per-cycle operation.
+    pub fn unlimited(clock_hz: f64) -> Self {
+        Self {
+            curve: BandwidthCurve::new("unlimited", vec![(0.0, 1e6), (1.0, 1e6)]),
+            clock_hz,
+            read_latency: 1,
+            max_credit: 1e9,
+            mix_update_interval: u64::MAX,
+        }
+    }
+}
+
+/// Counters exposed by the endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QpiStats {
+    /// Cache lines read over the link.
+    pub lines_read: u64,
+    /// Cache lines written over the link.
+    pub lines_written: u64,
+    /// Cycles on which a read was requested but denied for lack of credit.
+    pub read_stall_cycles: u64,
+    /// Cycles on which a write was requested but denied for lack of credit.
+    pub write_stall_cycles: u64,
+}
+
+impl QpiStats {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        (self.lines_read + self.lines_written) * CACHE_LINE_BYTES as u64
+    }
+
+    /// The achieved read-per-write ratio `r`.
+    pub fn achieved_r(&self) -> f64 {
+        if self.lines_written == 0 {
+            f64::INFINITY
+        } else {
+            self.lines_read as f64 / self.lines_written as f64
+        }
+    }
+}
+
+/// The token-bucket QPI endpoint.
+#[derive(Debug)]
+pub struct QpiEndpoint {
+    config: QpiConfig,
+    credit: f64,
+    bytes_per_cycle: f64,
+    cycle: u64,
+    /// In-flight read responses: (ready_cycle, tag).
+    pending_reads: VecDeque<(u64, u64)>,
+    stats: QpiStats,
+    /// Counters at the last rate refresh, so the mix is measured over the
+    /// most recent window (a two-pass HIST run changes mix mid-flight).
+    window_base: (u64, u64),
+}
+
+impl QpiEndpoint {
+    /// Create an endpoint; initial rate assumes a balanced mix until real
+    /// traffic updates it.
+    pub fn new(config: QpiConfig) -> Self {
+        let bytes_per_cycle = config.curve.bytes_per_sec(RwMix::BALANCED) / config.clock_hz;
+        Self {
+            credit: 0.0,
+            bytes_per_cycle,
+            cycle: 0,
+            pending_reads: VecDeque::new(),
+            config,
+            stats: QpiStats::default(),
+            window_base: (0, 0),
+        }
+    }
+
+    /// Advance one clock cycle: deposit credit, age pending reads.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.credit = (self.credit + self.bytes_per_cycle).min(self.config.max_credit);
+        if self.config.mix_update_interval != u64::MAX
+            && self.cycle.is_multiple_of(self.config.mix_update_interval)
+        {
+            self.refresh_rate();
+        }
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Request a 64 B read; `tag` identifies the response. Returns whether
+    /// the request was granted this cycle.
+    pub fn try_read(&mut self, tag: u64) -> bool {
+        if self.credit < CACHE_LINE_BYTES as f64 {
+            self.stats.read_stall_cycles += 1;
+            return false;
+        }
+        self.credit -= CACHE_LINE_BYTES as f64;
+        self.stats.lines_read += 1;
+        self.pending_reads
+            .push_back((self.cycle + self.config.read_latency as u64, tag));
+        true
+    }
+
+    /// Request a 64 B write. Returns whether it was granted this cycle.
+    /// (Write data travels with the request; completion is fire-and-forget
+    /// as in the real endpoint.)
+    pub fn try_write(&mut self) -> bool {
+        if self.credit < CACHE_LINE_BYTES as f64 {
+            self.stats.write_stall_cycles += 1;
+            return false;
+        }
+        self.credit -= CACHE_LINE_BYTES as f64;
+        self.stats.lines_written += 1;
+        true
+    }
+
+    /// Pop the tag of a read whose data has arrived (at most one per
+    /// cycle — the link delivers one line per cycle).
+    pub fn pop_ready_read(&mut self) -> Option<u64> {
+        match self.pending_reads.front() {
+            Some(&(ready, tag)) if ready <= self.cycle => {
+                self.pending_reads.pop_front();
+                Some(tag)
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads in flight (granted, data not yet delivered).
+    pub fn reads_in_flight(&self) -> usize {
+        self.pending_reads.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> QpiStats {
+        self.stats
+    }
+
+    /// Re-derive the credit rate from the read/write mix achieved since
+    /// the previous refresh (sliding window, so distinct phases of a run
+    /// each settle on their own operating point).
+    fn refresh_rate(&mut self) {
+        let reads = self.stats.lines_read - self.window_base.0;
+        let writes = self.stats.lines_written - self.window_base.1;
+        if reads + writes == 0 {
+            return;
+        }
+        self.window_base = (self.stats.lines_read, self.stats.lines_written);
+        let r = if writes == 0 {
+            f64::INFINITY
+        } else {
+            reads as f64 / writes as f64
+        };
+        self.bytes_per_cycle = self.config.curve.bytes_per_sec(RwMix::from_r(r)) / self.config.clock_hz;
+    }
+
+    /// The current credit refill rate in bytes per cycle (test hook).
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_curve(gbps: f64) -> BandwidthCurve {
+        BandwidthCurve::new("fixed", vec![(0.0, gbps), (1.0, gbps)])
+    }
+
+    #[test]
+    fn bandwidth_limits_grants() {
+        // 6.4 GB/s at 200 MHz = 32 B/cycle = one 64 B line every 2 cycles.
+        let mut qpi = QpiEndpoint::new(QpiConfig {
+            curve: fixed_curve(6.4),
+            clock_hz: 200e6,
+            read_latency: 1,
+            max_credit: 64.0,
+            mix_update_interval: u64::MAX,
+        });
+        let mut granted = 0;
+        for _ in 0..1000 {
+            qpi.tick();
+            if qpi.try_read(0) {
+                granted += 1;
+            }
+        }
+        assert!(
+            (480..=520).contains(&granted),
+            "expected ~500 grants in 1000 cycles, got {granted}"
+        );
+        assert!(qpi.stats().read_stall_cycles > 0);
+    }
+
+    #[test]
+    fn unlimited_never_stalls() {
+        let mut qpi = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        for i in 0..100 {
+            qpi.tick();
+            assert!(qpi.try_read(i));
+            assert!(qpi.try_write());
+        }
+        assert_eq!(qpi.stats().read_stall_cycles, 0);
+        assert_eq!(qpi.stats().write_stall_cycles, 0);
+        assert_eq!(qpi.stats().lines_read, 100);
+        assert_eq!(qpi.stats().lines_written, 100);
+    }
+
+    #[test]
+    fn read_latency_delays_response() {
+        let mut qpi = QpiEndpoint::new(QpiConfig {
+            curve: fixed_curve(100.0),
+            clock_hz: 200e6,
+            read_latency: 3,
+            max_credit: 1e9,
+            mix_update_interval: u64::MAX,
+        });
+        qpi.tick();
+        assert!(qpi.try_read(77));
+        assert_eq!(qpi.pop_ready_read(), None);
+        qpi.tick();
+        qpi.tick();
+        assert_eq!(qpi.pop_ready_read(), None, "2 of 3 cycles elapsed");
+        qpi.tick();
+        assert_eq!(qpi.pop_ready_read(), Some(77));
+        assert_eq!(qpi.reads_in_flight(), 0);
+    }
+
+    #[test]
+    fn responses_arrive_in_order() {
+        let mut qpi = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        qpi.tick();
+        assert!(qpi.try_read(1));
+        assert!(qpi.try_read(2));
+        qpi.tick();
+        assert_eq!(qpi.pop_ready_read(), Some(1));
+        assert_eq!(qpi.pop_ready_read(), Some(2));
+    }
+
+    #[test]
+    fn adaptive_rate_tracks_mix() {
+        // Curve where pure reads get 10 GB/s and pure writes 2 GB/s.
+        let curve = BandwidthCurve::new("sloped", vec![(0.0, 2.0), (1.0, 10.0)]);
+        let mut qpi = QpiEndpoint::new(QpiConfig {
+            curve,
+            clock_hz: 200e6,
+            read_latency: 1,
+            max_credit: 1e9,
+            mix_update_interval: 16,
+        });
+        // Issue only reads; after the first refresh the rate should move
+        // toward the read end of the curve.
+        for i in 0..64 {
+            qpi.tick();
+            let _ = qpi.try_read(i);
+        }
+        let read_heavy_rate = qpi.bytes_per_cycle();
+        assert!(
+            read_heavy_rate > 9.0 * 1e9 / 200e6 / 1.01,
+            "rate {read_heavy_rate} should approach 50 B/cycle"
+        );
+    }
+
+    #[test]
+    fn achieved_r_reporting() {
+        let mut qpi = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        qpi.tick();
+        qpi.try_read(0);
+        qpi.try_read(1);
+        qpi.try_write();
+        assert!((qpi.stats().achieved_r() - 2.0).abs() < 1e-12);
+        assert_eq!(qpi.stats().total_bytes(), 3 * 64);
+    }
+}

@@ -1,0 +1,198 @@
+//! The `FPRT` native relation format.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "FPRT"
+//! 4       2     version (currently 1), little-endian
+//! 6       2     tuple width in bytes, little-endian
+//! 8       8     tuple count, little-endian
+//! 16      n·w   raw tuple bytes (native layout of the #[repr(C)] tuples)
+//! 16+n·w  8     FNV-1a checksum of the tuple bytes, little-endian
+//! ```
+//!
+//! Tuple bytes are written in the host's native representation (the
+//! tuples are `#[repr(C)]` plain-old-data); the format is a scratch/
+//! interchange format for a single machine, like most database spill
+//! files, not a portable archive — CSV covers that case.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use fpart_types::{Relation, Tuple};
+
+use crate::IoError;
+
+const MAGIC: &[u8; 4] = b"FPRT";
+const VERSION: u16 = 1;
+
+/// FNV-1a over a byte slice — cheap, order-sensitive corruption check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// View a tuple slice as raw bytes.
+///
+/// Sound because every fpart tuple is `#[repr(C)]` + `Copy` with no
+/// padding-dependent semantics (padding bytes, if any, are written as-is
+/// and ignored on read).
+fn as_bytes<T: Tuple>(tuples: &[T]) -> &[u8] {
+    // SAFETY: T is plain-old-data; the slice covers len*size_of::<T>()
+    // initialised bytes (tuples are created from fully-initialised
+    // values; fpart tuple types contain no uninitialised padding).
+    unsafe {
+        std::slice::from_raw_parts(tuples.as_ptr().cast::<u8>(), std::mem::size_of_val(tuples))
+    }
+}
+
+/// Write a relation to `path` in the `FPRT` format.
+pub fn write_relation<T: Tuple>(rel: &Relation<T>, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(T::WIDTH as u16).to_le_bytes())?;
+    out.write_all(&(rel.len() as u64).to_le_bytes())?;
+    let payload = as_bytes(rel.tuples());
+    out.write_all(payload)?;
+    out.write_all(&fnv1a(payload).to_le_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a relation of tuple type `T` from an `FPRT` file.
+pub fn read_relation<T: Tuple>(path: impl AsRef<Path>) -> Result<Relation<T>, IoError> {
+    let mut input = BufReader::new(File::open(path)?);
+
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let mut buf2 = [0u8; 2];
+    input.read_exact(&mut buf2)?;
+    let version = u16::from_le_bytes(buf2);
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    input.read_exact(&mut buf2)?;
+    let width = u16::from_le_bytes(buf2);
+    if width as usize != T::WIDTH {
+        return Err(IoError::WidthMismatch {
+            file: width,
+            requested: T::WIDTH as u16,
+        });
+    }
+    let mut buf8 = [0u8; 8];
+    input.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8) as usize;
+
+    let mut payload = vec![0u8; count * T::WIDTH];
+    input.read_exact(&mut payload)?;
+    input.read_exact(&mut buf8)?;
+    if u64::from_le_bytes(buf8) != fnv1a(&payload) {
+        return Err(IoError::ChecksumMismatch);
+    }
+
+    // Reassemble tuples from the raw bytes. The copy runs at byte
+    // granularity into the (properly aligned) Vec<T> allocation, so the
+    // byte buffer's alignment is irrelevant.
+    let mut tuples: Vec<T> = Vec::with_capacity(count);
+    if count > 0 {
+        // SAFETY: the destination has capacity for count T = payload.len()
+        // bytes (width checked above); T is plain-old-data, so any byte
+        // pattern of the right size is a valid T for fpart tuple types
+        // (no niches, no invariants).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                payload.as_ptr(),
+                tuples.as_mut_ptr().cast::<u8>(),
+                payload.len(),
+            );
+            tuples.set_len(count);
+        }
+    }
+    Ok(Relation::from_tuples(&tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::KeyDistribution;
+    use fpart_types::{Tuple16, Tuple64, Tuple8};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fpart_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_all_widths() {
+        let path = tmp("roundtrip");
+        let keys32: Vec<u32> = KeyDistribution::Random.generate_keys(5000, 1);
+        let r8 = Relation::<Tuple8>::from_keys(&keys32);
+        write_relation(&r8, &path).unwrap();
+        let back = read_relation::<Tuple8>(&path).unwrap();
+        assert_eq!(back.tuples(), r8.tuples());
+
+        let keys64: Vec<u64> = KeyDistribution::Grid.generate_keys(3000, 2);
+        let r16 = Relation::<Tuple16>::from_keys(&keys64);
+        write_relation(&r16, &path).unwrap();
+        assert_eq!(read_relation::<Tuple16>(&path).unwrap().tuples(), r16.tuples());
+
+        let r64 = Relation::<Tuple64>::from_keys(&keys64);
+        write_relation(&r64, &path).unwrap();
+        assert_eq!(read_relation::<Tuple64>(&path).unwrap().tuples(), r64.tuples());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_relation_round_trips() {
+        let path = tmp("empty");
+        let rel = Relation::<Tuple8>::from_tuples(&[]);
+        write_relation(&rel, &path).unwrap();
+        assert_eq!(read_relation::<Tuple8>(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn width_mismatch_is_detected() {
+        let path = tmp("width");
+        let rel = Relation::<Tuple8>::from_keys(&[1, 2, 3]);
+        write_relation(&rel, &path).unwrap();
+        match read_relation::<Tuple16>(&path) {
+            Err(IoError::WidthMismatch { file: 8, requested: 16 }) => {}
+            other => panic!("expected width mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt");
+        let rel = Relation::<Tuple8>::from_keys(&(0..100u32).collect::<Vec<_>>());
+        write_relation(&rel, &path).unwrap();
+        // Flip one payload byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[40] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_relation::<Tuple8>(&path),
+            Err(IoError::ChecksumMismatch)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_fprt_file_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"definitely not a relation").unwrap();
+        assert!(matches!(read_relation::<Tuple8>(&path), Err(IoError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,111 @@
+//! CSV interchange: `key,payload` per line with a header row.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use fpart_types::{Key, Relation, Tuple};
+
+use crate::IoError;
+
+/// Export a relation as `key,payload` CSV (header row included; wide
+/// payloads export their first word — the row id in generated data).
+pub fn export_csv<T: Tuple>(rel: &Relation<T>, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "key,payload")?;
+    for t in rel.tuples() {
+        writeln!(out, "{},{}", t.key(), t.payload_word())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Import a `key,payload` CSV into a relation (header row optional; a
+/// missing payload column defaults to the row index).
+pub fn import_csv<T: Tuple>(path: impl AsRef<Path>) -> Result<Relation<T>, IoError> {
+    let input = BufReader::new(File::open(path)?);
+    let mut tuples: Vec<T> = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Skip a header row.
+        if idx == 0 && trimmed.starts_with("key") {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let key_str = fields.next().unwrap_or("");
+        let key = key_str
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| IoError::BadCsvLine {
+                line: idx + 1,
+                content: line.clone(),
+            })?;
+        let payload = match fields.next() {
+            Some(p) => p.trim().parse::<u64>().map_err(|_| IoError::BadCsvLine {
+                line: idx + 1,
+                content: line.clone(),
+            })?,
+            None => tuples.len() as u64,
+        };
+        tuples.push(T::new(T::K::from_u64(key), payload));
+    }
+    Ok(Relation::from_tuples(&tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_types::{Tuple16, Tuple8};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fpart_csv_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let path = tmp("roundtrip");
+        let rel = Relation::<Tuple8>::from_keys(&[10, 20, 30]);
+        export_csv(&rel, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "key,payload\n10,0\n20,1\n30,2\n");
+        let back = import_csv::<Tuple8>(&path).unwrap();
+        assert_eq!(back.tuples(), rel.tuples());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn import_without_header_or_payload() {
+        let path = tmp("bare");
+        std::fs::write(&path, "5\n6\n7\n").unwrap();
+        let rel = import_csv::<Tuple16>(&path).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.tuples()[2], Tuple16::new(7, 2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let path = tmp("bad");
+        std::fs::write(&path, "key,payload\n1,2\nnot-a-number,3\n").unwrap();
+        match import_csv::<Tuple8>(&path) {
+            Err(IoError::BadCsvLine { line: 3, .. }) => {}
+            other => panic!("expected BadCsvLine at 3, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let path = tmp("blank");
+        std::fs::write(&path, "1,1\n\n2,2\n  \n").unwrap();
+        let rel = import_csv::<Tuple8>(&path).unwrap();
+        assert_eq!(rel.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

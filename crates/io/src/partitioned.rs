@@ -1,0 +1,224 @@
+//! Persistence for partitioned relations (`FPRP` format).
+//!
+//! A partitioning run is the expensive half of a radix join; persisting
+//! its output lets a pipeline split partition and join across processes
+//! (or cache the partitioning of a build side that joins against many
+//! probe sides).
+//!
+//! ```text
+//! offset        size  field
+//! 0             4     magic "FPRP"
+//! 4             2     version (1)
+//! 6             2     tuple width
+//! 8             8     partition count P
+//! 16            8     allocated slot count A
+//! 24            16·P  per partition: written (u64), valid (u64)
+//! …             8·(P+1) slot offsets (prefix table)
+//! …             A·w   raw slot bytes (including dummy padding)
+//! …             8     FNV-1a checksum of the slot bytes
+//! ```
+//!
+//! The exact layout (offsets, written/valid counts, dummy padding) is
+//! preserved bit-for-bit, so a reloaded relation behaves identically —
+//! including the flush-padding the FPGA wrote.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use fpart_types::{PartitionedRelation, Tuple};
+
+use crate::IoError;
+
+const MAGIC: &[u8; 4] = b"FPRP";
+const VERSION: u16 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Write a partitioned relation to `path`.
+pub fn write_partitioned<T: Tuple>(
+    rel: &PartitionedRelation<T>,
+    path: impl AsRef<Path>,
+) -> Result<(), IoError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(T::WIDTH as u16).to_le_bytes())?;
+    let parts = rel.num_partitions() as u64;
+    out.write_all(&parts.to_le_bytes())?;
+    out.write_all(&(rel.allocated_slots() as u64).to_le_bytes())?;
+    for p in 0..rel.num_partitions() {
+        out.write_all(&(rel.partition_written(p) as u64).to_le_bytes())?;
+        out.write_all(&(rel.partition_valid(p) as u64).to_le_bytes())?;
+    }
+    for p in 0..rel.num_partitions() {
+        out.write_all(&(rel.partition_base(p) as u64).to_le_bytes())?;
+    }
+    out.write_all(&(rel.allocated_slots() as u64).to_le_bytes())?;
+    // SAFETY: T is plain-old-data (see `binary::as_bytes`).
+    let bytes = unsafe {
+        std::slice::from_raw_parts(
+            rel.raw_data().as_ptr().cast::<u8>(),
+            std::mem::size_of_val(rel.raw_data()),
+        )
+    };
+    out.write_all(bytes)?;
+    out.write_all(&fnv1a(bytes).to_le_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a partitioned relation of tuple type `T` from `path`.
+pub fn read_partitioned<T: Tuple>(path: impl AsRef<Path>) -> Result<PartitionedRelation<T>, IoError> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let mut b2 = [0u8; 2];
+    input.read_exact(&mut b2)?;
+    let version = u16::from_le_bytes(b2);
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    input.read_exact(&mut b2)?;
+    let width = u16::from_le_bytes(b2);
+    if width as usize != T::WIDTH {
+        return Err(IoError::WidthMismatch {
+            file: width,
+            requested: T::WIDTH as u16,
+        });
+    }
+    let mut b8 = [0u8; 8];
+    input.read_exact(&mut b8)?;
+    let parts = u64::from_le_bytes(b8) as usize;
+    input.read_exact(&mut b8)?;
+    let allocated = u64::from_le_bytes(b8) as usize;
+
+    let mut fills = Vec::with_capacity(parts);
+    for _ in 0..parts {
+        input.read_exact(&mut b8)?;
+        let written = u64::from_le_bytes(b8) as usize;
+        input.read_exact(&mut b8)?;
+        let valid = u64::from_le_bytes(b8) as usize;
+        fills.push((written, valid));
+    }
+    let mut offsets = Vec::with_capacity(parts + 1);
+    for _ in 0..=parts {
+        input.read_exact(&mut b8)?;
+        offsets.push(u64::from_le_bytes(b8) as usize);
+    }
+    if offsets.last().copied() != Some(allocated) {
+        return Err(IoError::ChecksumMismatch);
+    }
+
+    let mut payload = vec![0u8; allocated * T::WIDTH];
+    input.read_exact(&mut payload)?;
+    input.read_exact(&mut b8)?;
+    if u64::from_le_bytes(b8) != fnv1a(&payload) {
+        return Err(IoError::ChecksumMismatch);
+    }
+
+    // Rebuild: extents from the offset table, data from the payload.
+    let extents: Vec<usize> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+    let mut rel = PartitionedRelation::<T>::with_histogram(&extents, false);
+    debug_assert_eq!(rel.allocated_slots(), allocated);
+    if allocated > 0 {
+        // SAFETY: destination holds exactly `allocated` T slots =
+        // payload.len() bytes; T is plain-old-data.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                payload.as_ptr(),
+                rel.raw_data_mut().as_mut_ptr().cast::<u8>(),
+                payload.len(),
+            );
+        }
+    }
+    for (p, (written, valid)) in fills.into_iter().enumerate() {
+        rel.set_partition_fill(p, written, valid);
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::KeyDistribution;
+    use fpart_types::{Relation, Tuple8};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fpart_fprp_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn cpu_partitioned_round_trip() {
+        use fpart_cpu_shim::partition;
+        let path = tmp("cpu");
+        let keys = KeyDistribution::Random.generate_keys::<u32>(8000, 3);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let parts = partition(&rel);
+        write_partitioned(&parts, &path).unwrap();
+        let back = read_partitioned::<Tuple8>(&path).unwrap();
+
+        assert_eq!(back.num_partitions(), parts.num_partitions());
+        assert_eq!(back.histogram(), parts.histogram());
+        assert_eq!(back.raw_data(), parts.raw_data());
+        for p in 0..parts.num_partitions() {
+            assert_eq!(back.partition_written(p), parts.partition_written(p));
+            assert_eq!(back.partition_base(p), parts.partition_base(p));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        use fpart_cpu_shim::partition;
+        let path = tmp("corrupt");
+        let rel = Relation::<Tuple8>::from_keys(&(0..500u32).collect::<Vec<_>>());
+        write_partitioned(&partition(&rel), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_partitioned::<Tuple8>(&path),
+            Err(IoError::ChecksumMismatch)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Minimal in-test partitioner (fpart-io must not depend on
+    /// fpart-cpu, which would create a cycle if fpart-cpu ever persists).
+    mod fpart_cpu_shim {
+        use fpart_types::{PartitionedRelation, Relation, Tuple8};
+
+        pub fn partition(rel: &Relation<Tuple8>) -> PartitionedRelation<Tuple8> {
+            let parts = 32usize;
+            let mut hist = vec![0usize; parts];
+            for t in rel.tuples() {
+                hist[(t.key % parts as u32) as usize] += 1;
+            }
+            let mut out = PartitionedRelation::<Tuple8>::with_histogram(&hist, false);
+            let mut cursors: Vec<usize> = (0..parts).map(|p| out.partition_base(p)).collect();
+            for &t in rel.tuples() {
+                let p = (t.key % parts as u32) as usize;
+                out.raw_data_mut()[cursors[p]] = t;
+                cursors[p] += 1;
+            }
+            for (p, &h) in hist.iter().enumerate() {
+                out.set_partition_fill(p, h, h);
+            }
+            out
+        }
+    }
+}

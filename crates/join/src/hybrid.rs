@@ -1,0 +1,408 @@
+//! The hybrid CPU+FPGA join: "the partitioning happens on the FPGA and
+//! the build and probe phases of a join happen on the CPU" (Abstract).
+//!
+//! The FPGA partitioner here is the cycle-level simulation of
+//! `fpart-fpga`; its [`fpart_fpga::RunReport`] carries the simulated time
+//! at 200 MHz under the calibrated QPI model, while the build+probe phase
+//! runs for real on host threads. The two time domains are reported
+//! separately — the figure harness combines them with the platform cost
+//! models (including the Section 2.2 coherence penalty, which cannot
+//! manifest on a single-socket host).
+//!
+//! PAD-mode overflow handling follows the paper: "If one partition gets
+//! filled, the operation aborts and falls back to a CPU based
+//! partitioner" (Section 4.5) — or, per Section 5.4, the run can be
+//! restarted in HIST mode; [`FallbackPolicy`] selects which.
+
+use fpart_cpu::{CpuPartitioner, CpuRunReport};
+use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig, RunReport};
+use fpart_hwsim::QpiConfig;
+use fpart_types::{ColumnRelation, FpartError, PartitionedRelation, Relation, Result, Tuple};
+
+use crate::buildprobe::{build_probe_all, BuildProbeReport};
+use crate::materialize::{materialize_join_vrid, rows_checksum};
+use crate::radix::JoinResult;
+
+/// What to do when PAD mode overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Re-partition the offending relation on the CPU (Section 4.5).
+    CpuPartitioner,
+    /// Restart the FPGA run in HIST mode (Section 5.4).
+    HistMode,
+    /// Propagate the error to the caller.
+    Fail,
+}
+
+/// How one relation ended up partitioned.
+#[derive(Debug, Clone)]
+pub enum PartitionOutcome {
+    /// FPGA run succeeded.
+    Fpga(RunReport),
+    /// PAD overflowed after `aborted_after` consumed tuples; the CPU
+    /// partitioner finished the job.
+    CpuFallback {
+        /// The overflow error that triggered the fallback.
+        error: FpartError,
+        /// The CPU partitioning report.
+        cpu: CpuRunReport,
+    },
+    /// PAD overflowed; the run was restarted in HIST mode.
+    HistRetry {
+        /// The overflow error that triggered the retry.
+        error: FpartError,
+        /// The successful HIST-mode report.
+        report: RunReport,
+    },
+}
+
+impl PartitionOutcome {
+    /// The simulated FPGA seconds spent on this relation (0 for a pure
+    /// CPU fallback).
+    pub fn fpga_seconds(&self) -> f64 {
+        match self {
+            Self::Fpga(r) | Self::HistRetry { report: r, .. } => r.seconds(),
+            Self::CpuFallback { .. } => 0.0,
+        }
+    }
+
+    /// Whether the PAD run had to abort.
+    pub fn aborted(&self) -> bool {
+        !matches!(self, Self::Fpga(_))
+    }
+}
+
+/// Report of a hybrid join.
+#[derive(Debug, Clone)]
+pub struct HybridJoinReport {
+    /// How R was partitioned.
+    pub r_outcome: PartitionOutcome,
+    /// How S was partitioned.
+    pub s_outcome: PartitionOutcome,
+    /// The measured CPU build+probe phase.
+    pub build_probe: BuildProbeReport,
+}
+
+impl HybridJoinReport {
+    /// Simulated FPGA partitioning seconds (both relations).
+    pub fn fpga_partition_seconds(&self) -> f64 {
+        self.r_outcome.fpga_seconds() + self.s_outcome.fpga_seconds()
+    }
+
+    /// Whether any relation needed the overflow fallback.
+    pub fn any_fallback(&self) -> bool {
+        self.r_outcome.aborted() || self.s_outcome.aborted()
+    }
+}
+
+/// A configured hybrid join.
+#[derive(Debug, Clone)]
+pub struct HybridJoin {
+    /// FPGA partitioner configuration (mode pair + partition function).
+    pub fpga: PartitionerConfig,
+    /// Threads for the CPU build+probe phase ("when we say 10-threaded
+    /// join in the context of hybrid joins, we mean that after the FPGA
+    /// partitioning the CPU build+probe phase is 10-threaded").
+    pub cpu_threads: usize,
+    /// Overflow handling.
+    pub fallback: FallbackPolicy,
+    /// Optional custom QPI model (defaults to the HARP link).
+    pub qpi: Option<QpiConfig>,
+}
+
+impl HybridJoin {
+    /// A hybrid join with the paper's defaults.
+    pub fn new(fpga: PartitionerConfig, cpu_threads: usize) -> Self {
+        Self {
+            fpga,
+            cpu_threads,
+            fallback: FallbackPolicy::CpuPartitioner,
+            qpi: None,
+        }
+    }
+
+    fn partitioner(&self, config: PartitionerConfig) -> FpgaPartitioner {
+        match &self.qpi {
+            Some(q) => FpgaPartitioner::with_qpi(config, q.clone()),
+            None => FpgaPartitioner::new(config),
+        }
+    }
+
+    fn partition_one<T: Tuple>(
+        &self,
+        rel: &Relation<T>,
+    ) -> Result<(PartitionedRelation<T>, PartitionOutcome)> {
+        match self.partitioner(self.fpga.clone()).partition(rel) {
+            Ok((p, report)) => Ok((p, PartitionOutcome::Fpga(report))),
+            Err(error @ FpartError::PartitionOverflow { .. }) => match self.fallback {
+                FallbackPolicy::Fail => Err(error),
+                FallbackPolicy::CpuPartitioner => {
+                    let cpu = CpuPartitioner::new(self.fpga.partition_fn, self.cpu_threads);
+                    let (p, cpu_report) = cpu.partition(rel);
+                    Ok((
+                        p,
+                        PartitionOutcome::CpuFallback {
+                            error,
+                            cpu: cpu_report,
+                        },
+                    ))
+                }
+                FallbackPolicy::HistMode => {
+                    let mut config = self.fpga.clone();
+                    config.output = OutputMode::Hist;
+                    let (p, report) = self.partitioner(config).partition(rel)?;
+                    Ok((p, PartitionOutcome::HistRetry { error, report }))
+                }
+            },
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Execute R ⋈ S: FPGA partitioning (simulated) + CPU build+probe
+    /// (measured).
+    pub fn execute<T: Tuple>(
+        &self,
+        r: &Relation<T>,
+        s: &Relation<T>,
+    ) -> Result<(JoinResult, HybridJoinReport)> {
+        let (rp, r_outcome) = self.partition_one(r)?;
+        let (sp, s_outcome) = self.partition_one(s)?;
+        let bp = build_probe_all(&rp, &sp, self.fpga.partition_fn.bits(), self.cpu_threads);
+        Ok((
+            JoinResult {
+                matches: bp.matches,
+                checksum: bp.checksum,
+            },
+            HybridJoinReport {
+                r_outcome,
+                s_outcome,
+                build_probe: bp,
+            },
+        ))
+    }
+
+    /// Execute R ⋈ S on column-store relations through VRID mode
+    /// (Section 5.2): the FPGA reads only the key columns (half the
+    /// link traffic for 8 B tuples), the CPU joins `(key, position)`
+    /// pairs, and the matched rows are *late-materialised* against the
+    /// payload columns — "an additional cost that does not occur in RID
+    /// mode", included in the returned build+probe wall time.
+    ///
+    /// The join's checksum is computed over the dereferenced payloads, so
+    /// it equals the RID-mode checksum for the same logical relations.
+    ///
+    /// # Errors
+    /// PAD overflow propagates (VRID has no CPU fallback path here; use
+    /// HIST output mode for skewed column-store inputs).
+    pub fn execute_columns<T: Tuple>(
+        &self,
+        r: &ColumnRelation<T>,
+        s: &ColumnRelation<T>,
+    ) -> Result<(JoinResult, HybridJoinReport)> {
+        let mut config = self.fpga.clone();
+        config.input = InputMode::Vrid;
+        let partitioner = self.partitioner(config);
+        let (rp, r_report) = partitioner.partition_columns(r)?;
+        let (sp, s_report) = partitioner.partition_columns(s)?;
+
+        let t0 = std::time::Instant::now();
+        let rows = materialize_join_vrid(
+            &rp,
+            &sp,
+            r,
+            s,
+            self.fpga.partition_fn.bits(),
+            self.cpu_threads,
+        );
+        let bp = BuildProbeReport {
+            matches: rows.len() as u64,
+            checksum: rows_checksum(&rows),
+            wall: t0.elapsed(),
+            threads: self.cpu_threads,
+        };
+        Ok((
+            JoinResult {
+                matches: bp.matches,
+                checksum: bp.checksum,
+            },
+            HybridJoinReport {
+                r_outcome: PartitionOutcome::Fpga(r_report),
+                s_outcome: PartitionOutcome::Fpga(s_report),
+                build_probe: bp,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buildprobe::reference_join;
+    use crate::radix::CpuRadixJoin;
+    use fpart_datagen::WorkloadId;
+    use fpart_fpga::{InputMode, PaddingSpec};
+    use fpart_hash::PartitionFn;
+    use fpart_types::Tuple8;
+
+    fn cfg(bits: u32, output: OutputMode) -> PartitionerConfig {
+        PartitionerConfig {
+            partition_fn: PartitionFn::Murmur { bits },
+            output,
+            input: InputMode::Rid,
+            fifo_capacity: 64,
+            out_fifo_capacity: 8,
+        }
+    }
+
+    #[test]
+    fn hybrid_join_matches_cpu_join() {
+        let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(0.00005, 21);
+        let hybrid = HybridJoin::new(cfg(5, OutputMode::pad_default()), 2);
+        let (hresult, hreport) = hybrid.execute(&r, &s).unwrap();
+
+        let cpu = CpuRadixJoin::new(PartitionFn::Murmur { bits: 5 }, 2);
+        let (cresult, _) = cpu.execute(&r, &s);
+        assert_eq!(hresult, cresult);
+        assert!(!hreport.any_fallback());
+        assert!(hreport.fpga_partition_seconds() > 0.0);
+        assert_eq!(hresult.matches, s.len() as u64);
+    }
+
+    #[test]
+    fn hist_mode_hybrid_join() {
+        let (r, s) = WorkloadId::C.spec().row_relations::<Tuple8>(0.00003, 9);
+        let hybrid = HybridJoin::new(cfg(5, OutputMode::Hist), 2);
+        let (result, report) = hybrid.execute(&r, &s).unwrap();
+        let (m, c) = reference_join(r.tuples(), s.tuples());
+        assert_eq!((result.matches, result.checksum), (m, c));
+        // HIST runs two passes on each relation → more lines read than a
+        // PAD run would need.
+        match &report.r_outcome {
+            PartitionOutcome::Fpga(rep) => assert!(rep.hist_cycles > 0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skew_triggers_cpu_fallback() {
+        // Heavy Zipf skew with zero padding forces a PAD overflow on S.
+        let (r, s) = WorkloadId::A
+            .spec()
+            .skewed_row_relations::<Tuple8>(0.0001, 1.5, 33);
+        let mut join = HybridJoin::new(
+            cfg(
+                6,
+                OutputMode::Pad {
+                    padding: PaddingSpec::Tuples(0),
+                },
+            ),
+            2,
+        );
+        join.fallback = FallbackPolicy::CpuPartitioner;
+        let (result, report) = join.execute(&r, &s).unwrap();
+        assert!(report.any_fallback(), "zipf 1.5 must overflow zero padding");
+        let (m, c) = reference_join(r.tuples(), s.tuples());
+        assert_eq!((result.matches, result.checksum), (m, c));
+    }
+
+    #[test]
+    fn skew_with_hist_retry() {
+        let (r, s) = WorkloadId::A
+            .spec()
+            .skewed_row_relations::<Tuple8>(0.0001, 1.5, 33);
+        let mut join = HybridJoin::new(
+            cfg(
+                6,
+                OutputMode::Pad {
+                    padding: PaddingSpec::Tuples(0),
+                },
+            ),
+            2,
+        );
+        join.fallback = FallbackPolicy::HistMode;
+        let (result, report) = join.execute(&r, &s).unwrap();
+        assert!(report.any_fallback());
+        assert!(matches!(
+            report.s_outcome,
+            PartitionOutcome::HistRetry { .. } | PartitionOutcome::Fpga(_)
+        ));
+        let (m, _) = reference_join(r.tuples(), s.tuples());
+        assert_eq!(result.matches, m);
+    }
+
+    #[test]
+    fn fail_policy_propagates() {
+        let (r, s) = WorkloadId::A
+            .spec()
+            .skewed_row_relations::<Tuple8>(0.0001, 1.5, 33);
+        let mut join = HybridJoin::new(
+            cfg(
+                6,
+                OutputMode::Pad {
+                    padding: PaddingSpec::Tuples(0),
+                },
+            ),
+            2,
+        );
+        join.fallback = FallbackPolicy::Fail;
+        assert!(matches!(
+            join.execute(&r, &s),
+            Err(FpartError::PartitionOverflow { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod vrid_tests {
+    use super::*;
+    use crate::radix::CpuRadixJoin;
+    use fpart_datagen::WorkloadId;
+    use fpart_hash::PartitionFn;
+    use fpart_types::Tuple8;
+
+    #[test]
+    fn vrid_join_matches_rid_join() {
+        let spec = WorkloadId::A.spec();
+        let (rc, sc) = spec.column_relations::<Tuple8>(0.00004, 5);
+        let config = PartitionerConfig {
+            partition_fn: PartitionFn::Murmur { bits: 5 },
+            ..PartitionerConfig::paper_default(
+                OutputMode::pad_default(),
+                InputMode::Vrid,
+            )
+        };
+        let hybrid = HybridJoin::new(config, 2);
+        let (vrid_result, vrid_report) = hybrid.execute_columns(&rc, &sc).unwrap();
+
+        // RID-mode reference on the materialised rows.
+        let r = rc.to_row_store();
+        let s = sc.to_row_store();
+        let (rid_result, _) = CpuRadixJoin::new(PartitionFn::Murmur { bits: 5 }, 2)
+            .execute(&r, &s);
+        assert_eq!(vrid_result, rid_result, "VRID join must equal RID join");
+        assert!(vrid_report.fpga_partition_seconds() > 0.0);
+    }
+
+    #[test]
+    fn vrid_reads_half_of_rid() {
+        let spec = WorkloadId::A.spec();
+        let (rc, sc) = spec.column_relations::<Tuple8>(0.00004, 6);
+        let base = PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Rid);
+        let config = PartitionerConfig {
+            partition_fn: PartitionFn::Murmur { bits: 5 },
+            ..base
+        };
+        let hybrid = HybridJoin::new(config.clone(), 2);
+        let (_, vrid_report) = hybrid.execute_columns(&rc, &sc).unwrap();
+
+        let (r, s) = (rc.to_row_store(), sc.to_row_store());
+        let (_, rid_report) = hybrid.execute(&r, &s).unwrap();
+        let lines = |o: &PartitionOutcome| match o {
+            PartitionOutcome::Fpga(rep) => rep.qpi.lines_read,
+            other => panic!("{other:?}"),
+        };
+        let vrid_reads = lines(&vrid_report.r_outcome) + lines(&vrid_report.s_outcome);
+        let rid_reads = lines(&rid_report.r_outcome) + lines(&rid_report.s_outcome);
+        assert_eq!(rid_reads, vrid_reads * 2, "VRID halves the key reads");
+    }
+}

@@ -1,0 +1,39 @@
+//! # fpart-join
+//!
+//! The relational operator the paper accelerates: the partitioned
+//! (radix) hash join, "a clear performance advantage over non-partitioned
+//! and sort-based joins on modern multi-core architectures" (Section 3.3).
+//!
+//! * [`hashtable::BucketChainTable`] — the cache-resident bucket-chaining
+//!   hash table of Manegold et al., built per partition;
+//! * [`buildprobe`] — the parallel build+probe phase over partition pairs;
+//! * [`radix::CpuRadixJoin`] — the pure-CPU join (partition both inputs
+//!   with `fpart-cpu`, then build+probe);
+//! * [`hybrid::HybridJoin`] — the paper's contribution in operator form:
+//!   FPGA partitioning (simulated, with exact cycle accounting) feeding
+//!   the CPU build+probe, including the PAD-overflow fallback to the CPU
+//!   partitioner (Section 4.5);
+//! * [`nopart::no_partition_join`] — the no-partitioning baseline;
+//! * [`aggregate`] — the group-by extension sketched in the paper's
+//!   Discussion ("the partitioning we have described can also be used for
+//!   a hardware conscious group by aggregation");
+//! * [`materialize`] — join output materialisation, including the VRID
+//!   late-materialisation cost of Section 5.2;
+//! * [`planner`] — adaptive HIST/PAD selection from a key sample, so the
+//!   §5.4 abort-and-restart cost is paid by design only when sampling is
+//!   wrong.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod buildprobe;
+pub mod hashtable;
+pub mod hybrid;
+pub mod materialize;
+pub mod nopart;
+pub mod planner;
+pub mod radix;
+
+pub use buildprobe::{build_probe_all, BuildProbeReport};
+pub use hybrid::{HybridJoin, HybridJoinReport};
+pub use radix::{CpuRadixJoin, JoinReport, JoinResult};

@@ -1,0 +1,198 @@
+//! Adaptive output-mode planning.
+//!
+//! Section 5.4 shows the cost of guessing wrong: PAD mode's overflow "is
+//! detected … in the worst case … at the very end of a partitioning run.
+//! Then, the procedure has to start from the beginning in HIST mode."
+//! A DBMS integrating the partitioner (the paper's Discussion) would not
+//! guess — it would sample. [`ModePlanner`] estimates the heaviest
+//! partition's fill from a key sample and picks:
+//!
+//! * **PAD** when the estimate fits the padded capacity with margin —
+//!   one pass, fastest;
+//! * **HIST** when it does not — two passes, never aborts.
+
+use fpart_fpga::{OutputMode, PaddingSpec};
+use fpart_hash::PartitionFn;
+use fpart_types::{Relation, Tuple};
+
+/// Plans HIST vs PAD from a deterministic key sample.
+#[derive(Debug, Clone)]
+pub struct ModePlanner {
+    /// The padding PAD mode would run with.
+    pub padding: PaddingSpec,
+    /// Keys to sample (default 4096).
+    pub sample_size: usize,
+    /// Safety margin: choose PAD only if the estimated heaviest fill
+    /// (plus flush overhead) stays below `margin × capacity`
+    /// (default 0.95).
+    pub margin: f64,
+}
+
+impl Default for ModePlanner {
+    fn default() -> Self {
+        Self {
+            padding: PaddingSpec::default(),
+            sample_size: 4096,
+            margin: 0.95,
+        }
+    }
+}
+
+/// What the planner decided and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// The chosen output mode.
+    pub output: OutputMode,
+    /// Estimated tuples in the heaviest partition at full size.
+    pub estimated_max_fill: usize,
+    /// The per-partition capacity PAD mode would preassign.
+    pub pad_capacity: usize,
+}
+
+impl ModePlanner {
+    /// Plan the output mode for partitioning `rel` with `f`.
+    pub fn plan<T: Tuple>(&self, rel: &Relation<T>, f: PartitionFn) -> Plan {
+        let n = rel.len();
+        let parts = f.fan_out();
+        let pad_capacity = self.padding.capacity(n, parts, T::LANES);
+        if n == 0 {
+            return Plan {
+                output: OutputMode::Pad {
+                    padding: self.padding,
+                },
+                estimated_max_fill: 0,
+                pad_capacity,
+            };
+        }
+
+        // Deterministic strided sample, histogrammed by partition id.
+        let sample = self.sample_size.min(n).max(1);
+        let stride = (n / sample).max(1);
+        let mut hist = vec![0usize; parts];
+        let mut taken = 0usize;
+        let mut i = 0usize;
+        while taken < sample && i < n {
+            hist[f.partition_of(rel.tuples()[i].key())] += 1;
+            taken += 1;
+            i += stride;
+        }
+        let max_count = hist.iter().max().copied().unwrap_or(0);
+        // Separate true skew from sampling noise: the sample's heaviest
+        // bin exceeds the mean both because the data is skewed and
+        // because small samples fluctuate (±~3√mean per bin). Only the
+        // part beyond the noise floor is treated as skew and scaled up;
+        // a 3σ allowance at full size covers the data's own binomial
+        // spread.
+        let scale = n as f64 / taken as f64;
+        let mean_count = taken as f64 / parts as f64;
+        let mean_fill = n as f64 / parts as f64;
+        let noise_floor = 3.0 * mean_count.max(1.0).sqrt();
+        let skew_excess = (max_count as f64 - mean_count - noise_floor).max(0.0);
+        let estimated_max_fill =
+            (mean_fill + skew_excess * scale + 3.0 * mean_fill.max(1.0).sqrt()) as usize;
+
+        // PAD also writes flush dummies: up to LANES-1 per combiner per
+        // partition.
+        let flush_overhead = T::LANES * (T::LANES - 1);
+        let output = if (estimated_max_fill + flush_overhead) as f64
+            <= self.margin * pad_capacity as f64
+        {
+            OutputMode::Pad {
+                padding: self.padding,
+            }
+        } else {
+            OutputMode::Hist
+        };
+        Plan {
+            output,
+            estimated_max_fill,
+            pad_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::WorkloadId;
+    use fpart_fpga::FpgaPartitioner;
+    use fpart_fpga::{InputMode, PartitionerConfig};
+    use fpart_types::Tuple8;
+
+    fn f() -> PartitionFn {
+        PartitionFn::Murmur { bits: 7 }
+    }
+
+    #[test]
+    fn uniform_input_plans_pad() {
+        let (_, s) = WorkloadId::A.spec().row_relations::<Tuple8>(0.0005, 1);
+        let plan = ModePlanner::default().plan(&s, f());
+        assert!(
+            matches!(plan.output, OutputMode::Pad { .. }),
+            "uniform data should take the single-pass mode: {plan:?}"
+        );
+        assert!(plan.estimated_max_fill < plan.pad_capacity);
+    }
+
+    #[test]
+    fn heavy_skew_plans_hist() {
+        let (_, s) = WorkloadId::A
+            .spec()
+            .skewed_row_relations::<Tuple8>(0.0005, 1.5, 1);
+        let plan = ModePlanner::default().plan(&s, f());
+        assert_eq!(plan.output, OutputMode::Hist, "{plan:?}");
+        assert!(plan.estimated_max_fill > plan.pad_capacity / 2);
+    }
+
+    /// The planner's promise: whatever it picks does not abort.
+    #[test]
+    fn planned_mode_never_aborts() {
+        for zipf in [0.0, 0.5, 1.0, 1.5] {
+            let (_, s) = WorkloadId::A
+                .spec()
+                .skewed_row_relations::<Tuple8>(0.0005, zipf, 2);
+            let plan = ModePlanner::default().plan(&s, f());
+            let config = PartitionerConfig {
+                partition_fn: f(),
+                output: plan.output,
+                ..PartitionerConfig::paper_default(plan.output, InputMode::Rid)
+            };
+            let result = FpgaPartitioner::new(config).partition(&s);
+            assert!(
+                result.is_ok(),
+                "zipf {zipf}: planned {:?} but partitioning failed: {:?}",
+                plan.output,
+                result.err()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_relation_defaults_to_pad() {
+        let rel = Relation::<Tuple8>::from_tuples(&[]);
+        let plan = ModePlanner::default().plan(&rel, f());
+        assert!(matches!(plan.output, OutputMode::Pad { .. }));
+        assert_eq!(plan.estimated_max_fill, 0);
+    }
+
+    #[test]
+    fn estimate_tracks_true_maximum() {
+        let (_, s) = WorkloadId::A
+            .spec()
+            .skewed_row_relations::<Tuple8>(0.0005, 1.0, 3);
+        let plan = ModePlanner::default().plan(&s, f());
+        // True histogram maximum.
+        let mut hist = vec![0usize; f().fan_out()];
+        for t in s.tuples() {
+            hist[f().partition_of(t.key)] += 1;
+        }
+        let true_max = *hist.iter().max().unwrap();
+        // The 3σ-padded estimate must not undershoot badly (that would
+        // risk aborts) — allow 30% undershoot at this sample size.
+        assert!(
+            plan.estimated_max_fill as f64 > true_max as f64 * 0.7,
+            "estimate {} vs true {true_max}",
+            plan.estimated_max_fill
+        );
+    }
+}

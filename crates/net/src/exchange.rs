@@ -1,0 +1,118 @@
+//! The all-to-all data exchange: route every node's node-level partitions
+//! to their owners and account the traffic matrix.
+
+use fpart_types::{PartitionedRelation, Relation, Tuple};
+
+/// The outcome of exchanging one relation: what each node now owns, plus
+/// the traffic matrix that moved it there.
+#[derive(Debug)]
+pub struct ExchangePlan<T: Tuple> {
+    /// `received[node]` — the tuples node `node` owns after the exchange
+    /// (its own fragment plus one from every peer), ready for the local
+    /// join.
+    pub received: Vec<Relation<T>>,
+    /// `traffic[src][dst]` in bytes (diagonal = data that stayed local).
+    pub traffic: Vec<Vec<u64>>,
+}
+
+/// Exchange node-level partitions: `fragments[src]` is node `src`'s
+/// relation partitioned `nodes`-ways (partition `dst` goes to node
+/// `dst`).
+///
+/// # Panics
+/// Panics if any fragment set has the wrong fan-out.
+pub fn exchange<T: Tuple>(fragments: &[PartitionedRelation<T>]) -> ExchangePlan<T> {
+    let nodes = fragments.len();
+    let mut traffic = vec![vec![0u64; nodes]; nodes];
+    let mut received_tuples: Vec<Vec<T>> = vec![Vec::new(); nodes];
+
+    for (src, parts) in fragments.iter().enumerate() {
+        assert_eq!(
+            parts.num_partitions(),
+            nodes,
+            "node-level partitioning must have one partition per node"
+        );
+        for dst in 0..nodes {
+            let count = parts.partition_valid(dst);
+            traffic[src][dst] = (count * T::WIDTH) as u64;
+            received_tuples[dst].extend(parts.partition_tuples(dst));
+        }
+    }
+
+    ExchangePlan {
+        received: received_tuples
+            .into_iter()
+            .map(|t| Relation::from_tuples(&t))
+            .collect(),
+        traffic,
+    }
+}
+
+/// Split a relation into per-node shares (round-robin blocks), as if the
+/// data had been loaded across the cluster.
+pub fn scatter_evenly<T: Tuple>(rel: &Relation<T>, nodes: usize) -> Vec<Relation<T>> {
+    let n = rel.len();
+    let base = n / nodes;
+    let extra = n % nodes;
+    let mut out = Vec::with_capacity(nodes);
+    let mut start = 0usize;
+    for i in 0..nodes {
+        let size = base + usize::from(i < extra);
+        out.push(Relation::from_tuples(&rel.tuples()[start..start + size]));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_cpu::CpuPartitioner;
+    use fpart_datagen::KeyDistribution;
+    use fpart_hash::PartitionFn;
+    use fpart_types::relation::content_checksum;
+    use fpart_types::Tuple8;
+
+    #[test]
+    fn exchange_conserves_tuples_and_routes_by_hash() {
+        let nodes = 4usize;
+        let node_bits = 2;
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(8000, 1);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let shares = scatter_evenly(&rel, nodes);
+        // Node-level partition function: TOP bits of the murmur hash…
+        // here simply a 4-way murmur (the dist_join module handles the
+        // bit-range split; routing only needs consistency).
+        let f = PartitionFn::Murmur { bits: node_bits };
+        let p = CpuPartitioner::new(f, 1);
+        let fragments: Vec<_> = shares.iter().map(|s| p.partition(s).0).collect();
+        let plan = exchange(&fragments);
+
+        // Conservation.
+        let total: usize = plan.received.iter().map(Relation::len).sum();
+        assert_eq!(total, 8000);
+        assert_eq!(
+            content_checksum(rel.tuples().iter().copied()),
+            content_checksum(plan.received.iter().flat_map(|r| r.tuples().iter().copied()))
+        );
+        // Routing: every tuple is on the node its hash says.
+        for (node, owned) in plan.received.iter().enumerate() {
+            for t in owned.tuples() {
+                assert_eq!(f.partition_of(t.key), node);
+            }
+        }
+        // Traffic matrix sums to the total moved bytes.
+        let matrix_bytes: u64 = plan.traffic.iter().flatten().sum();
+        assert_eq!(matrix_bytes, 8000 * 8);
+    }
+
+    #[test]
+    fn scatter_evenly_is_balanced_and_complete() {
+        let rel = Relation::<Tuple8>::from_keys(&(0..10u32).collect::<Vec<_>>());
+        let shares = scatter_evenly(&rel, 3);
+        let sizes: Vec<usize> = shares.iter().map(Relation::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 10);
+    }
+}

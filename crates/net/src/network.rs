@@ -1,0 +1,107 @@
+//! The cluster-network model.
+//!
+//! Calibrated on the rack Barthels et al. used for rack-scale RDMA
+//! joins: FDR InfiniBand at ≈6.8 GB/s per port (≈54.5 Gbit/s effective),
+//! full duplex, non-blocking fabric (every node can send and receive at
+//! line rate simultaneously). Under those assumptions an all-to-all
+//! exchange is bottlenecked by the busiest *port*, not the core.
+
+/// A non-blocking, full-duplex cluster network.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Per-port bandwidth in bytes/second, each direction.
+    pub port_bytes_per_sec: f64,
+    /// Per-message overhead in seconds (RDMA setup; amortised over large
+    /// fragments, but it keeps tiny-fragment exchanges honest).
+    pub message_latency: f64,
+}
+
+impl NetworkModel {
+    /// FDR InfiniBand (the Barthels et al. configuration): ≈6.8 GB/s per
+    /// port, ~2 µs one-sided operation setup.
+    pub fn fdr_infiniband() -> Self {
+        Self {
+            port_bytes_per_sec: 6.8e9,
+            message_latency: 2e-6,
+        }
+    }
+
+    /// A 10 GbE network (≈1.16 GB/s effective) for contrast.
+    pub fn ten_gbe() -> Self {
+        Self {
+            port_bytes_per_sec: 1.16e9,
+            message_latency: 10e-6,
+        }
+    }
+
+    /// Time for an all-to-all exchange described by a traffic matrix:
+    /// `traffic[src][dst]` bytes (diagonal = local, free). The fabric is
+    /// non-blocking, so the wall time is the busiest port's send or
+    /// receive volume over its bandwidth, plus per-fragment latency on
+    /// the longest lane.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn all_to_all_seconds(&self, traffic: &[Vec<u64>]) -> f64 {
+        let n = traffic.len();
+        let mut max_port_bytes = 0u64;
+        let mut max_messages = 0usize;
+        for (src, row) in traffic.iter().enumerate() {
+            assert_eq!(row.len(), n, "traffic matrix must be square");
+            let sent: u64 = (0..n).filter(|&d| d != src).map(|d| row[d]).sum();
+            let recv: u64 = (0..n).filter(|&s| s != src).map(|s| traffic[s][src]).sum();
+            max_port_bytes = max_port_bytes.max(sent).max(recv);
+            let msgs = (0..n).filter(|&d| d != src && row[d] > 0).count();
+            max_messages = max_messages.max(msgs);
+        }
+        max_port_bytes as f64 / self.port_bytes_per_sec
+            + max_messages as f64 * self.message_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_traffic_is_free() {
+        let net = NetworkModel::fdr_infiniband();
+        // Everything on the diagonal: no time.
+        let t = vec![vec![1 << 30, 0], vec![0, 1 << 30]];
+        assert_eq!(net.all_to_all_seconds(&t), 0.0);
+    }
+
+    #[test]
+    fn balanced_all_to_all_scales_with_port_volume() {
+        let net = NetworkModel::fdr_infiniband();
+        // 4 nodes, each sends 1 GB to each other node: port volume 3 GB.
+        let gb = 1u64 << 30;
+        let t = vec![vec![gb; 4]; 4];
+        let secs = net.all_to_all_seconds(&t);
+        let expect = 3.0 * gb as f64 / 6.8e9 + 3.0 * 2e-6;
+        assert!((secs - expect).abs() < 1e-9, "{secs} vs {expect}");
+    }
+
+    #[test]
+    fn skewed_receiver_is_the_bottleneck() {
+        let net = NetworkModel::fdr_infiniband();
+        // Node 0 receives 3 GB from each of 3 peers: 9 GB into one port.
+        let gb = 1u64 << 30;
+        let mut t = vec![vec![0u64; 4]; 4];
+        for (src, row) in t.iter_mut().enumerate().skip(1) {
+            row[0] = 3 * gb;
+            let _ = src;
+        }
+        let secs = net.all_to_all_seconds(&t);
+        assert!((secs - 9.0 * gb as f64 / 6.8e9 - 2e-6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slower_fabric_takes_longer() {
+        let gb = 1u64 << 30;
+        let t = vec![vec![gb; 2]; 2];
+        let fast = NetworkModel::fdr_infiniband().all_to_all_seconds(&t);
+        let slow = NetworkModel::ten_gbe().all_to_all_seconds(&t);
+        assert!(slow > 5.0 * fast);
+    }
+}

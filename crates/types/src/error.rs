@@ -1,0 +1,90 @@
+//! Error types for the fpart workspace.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, FpartError>;
+
+/// Errors surfaced by partitioners, the circuit simulator and the join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FpartError {
+    /// PAD mode preassigns `N/partitions + padding` slots per partition;
+    /// under skew a partition can overflow, upon which "the operation
+    /// aborts and falls back to a CPU based partitioner" (Section 4.5).
+    PartitionOverflow {
+        /// Partition that exceeded its preassigned capacity.
+        partition: usize,
+        /// The preassigned per-partition capacity in tuples.
+        capacity: usize,
+        /// How many input tuples had been consumed when the overflow was
+        /// detected ("the detection time ... is random", Section 5.4).
+        consumed: usize,
+    },
+    /// A configuration value is out of the supported range.
+    InvalidConfig(String),
+    /// The FPGA page table cannot map the requested virtual address space
+    /// (more 4 MB pages than table entries).
+    PageTableFull {
+        /// Pages requested by the allocation.
+        requested: usize,
+        /// Page-table entries available.
+        capacity: usize,
+    },
+    /// A virtual address fell outside the allocated page range.
+    PageFault {
+        /// The offending virtual byte address.
+        vaddr: u64,
+    },
+}
+
+impl fmt::Display for FpartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PartitionOverflow {
+                partition,
+                capacity,
+                consumed,
+            } => write!(
+                f,
+                "PAD-mode partition {partition} overflowed its capacity of {capacity} \
+                 tuples after consuming {consumed} inputs; fall back to HIST mode or \
+                 the CPU partitioner"
+            ),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::PageTableFull {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "page table full: {requested} pages requested, {capacity} entries available"
+            ),
+            Self::PageFault { vaddr } => write!(f, "page fault at virtual address {vaddr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for FpartError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fallback() {
+        let e = FpartError::PartitionOverflow {
+            partition: 3,
+            capacity: 100,
+            consumed: 57,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("partition 3"));
+        assert!(msg.contains("fall back"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(FpartError::PageFault { vaddr: 0x40 });
+        assert!(e.to_string().contains("0x40"));
+    }
+}

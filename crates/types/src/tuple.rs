@@ -1,0 +1,303 @@
+//! Fixed-width tuple types.
+//!
+//! The paper's partitioner circuit is synthesised for four tuple widths
+//! (Section 4.4, Table 2): 8, 16, 32 and 64 bytes. The 8 B configuration is
+//! `<4 B key, 4 B payload>` — the layout used throughout the evaluation and
+//! in the prior work the paper compares against. Wider tuples carry an 8 B
+//! key and a correspondingly wider payload.
+//!
+//! The flush phase of the write combiner (Section 4.2) pads partially
+//! filled cache lines with *dummy keys* "which later on won't be regarded by
+//! the software application". We reserve the all-ones key word for that
+//! sentinel; data generators never emit it.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// A partitioning key word: `u32` for 8 B tuples, `u64` for wider tuples.
+///
+/// The all-ones value ([`Key::DUMMY`]) is reserved as the dummy sentinel the
+/// FPGA flush phase uses to pad partially filled cache lines.
+pub trait Key:
+    Copy + Clone + Eq + Ord + Hash + Send + Sync + fmt::Debug + fmt::Display + 'static
+{
+    /// Number of value bits in the key word.
+    const BITS: u32;
+    /// The reserved dummy sentinel (all ones).
+    const DUMMY: Self;
+    /// Widen to `u64` (zero-extending).
+    fn to_u64(self) -> u64;
+    /// Truncate from `u64`.
+    fn from_u64(v: u64) -> Self;
+    /// Whether this key is the dummy sentinel.
+    #[inline]
+    fn is_dummy(self) -> bool
+    where
+        Self: PartialEq,
+    {
+        self == Self::DUMMY
+    }
+}
+
+impl Key for u32 {
+    const BITS: u32 = 32;
+    const DUMMY: Self = u32::MAX;
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v as u32
+    }
+}
+
+impl Key for u64 {
+    const BITS: u32 = 64;
+    const DUMMY: Self = u64::MAX;
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+
+/// A fixed-width relation tuple as consumed by the partitioner.
+///
+/// Implementations are plain-old-data (`Copy`) and exactly [`Tuple::WIDTH`]
+/// bytes, so a 64 B cache line holds exactly [`Tuple::LANES`] of them.
+pub trait Tuple: Copy + Clone + Send + Sync + PartialEq + Eq + fmt::Debug + 'static {
+    /// Key word type (`u32` for [`Tuple8`], `u64` otherwise).
+    type K: Key;
+
+    /// Width of the tuple in bytes (8, 16, 32 or 64).
+    const WIDTH: usize;
+
+    /// Tuples per 64 B cache line: `64 / WIDTH`.
+    const LANES: usize = crate::line::CACHE_LINE_BYTES / Self::WIDTH;
+
+    /// Construct a tuple from a key and a row id; the payload is derived
+    /// from the row id so joins can verify payload propagation.
+    fn new(key: Self::K, rid: u64) -> Self;
+
+    /// The partitioning key.
+    fn key(&self) -> Self::K;
+
+    /// The payload reduced to a single word (for checksums and join
+    /// verification). For multi-word payloads this is the first word.
+    fn payload_word(&self) -> u64;
+
+    /// The dummy tuple the FPGA flush phase pads cache lines with.
+    fn dummy() -> Self;
+
+    /// Whether this tuple is flush padding.
+    #[inline]
+    fn is_dummy(&self) -> bool {
+        self.key().is_dummy()
+    }
+}
+
+/// The paper's workhorse tuple: `<4 B key, 4 B payload>` (Sections 4, 5).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[repr(C)]
+pub struct Tuple8 {
+    /// 4-byte join/partitioning key.
+    pub key: u32,
+    /// 4-byte payload (row id in generated workloads).
+    pub payload: u32,
+}
+
+/// 16 B tuple: `<8 B key, 8 B payload>`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[repr(C)]
+pub struct Tuple16 {
+    /// 8-byte key.
+    pub key: u64,
+    /// 8-byte payload.
+    pub payload: u64,
+}
+
+/// 32 B tuple: `<8 B key, 24 B payload>`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[repr(C)]
+pub struct Tuple32 {
+    /// 8-byte key.
+    pub key: u64,
+    /// 24-byte payload; the first word carries the row id.
+    pub payload: [u64; 3],
+}
+
+/// 64 B tuple: `<8 B key, 56 B payload>` — one tuple per cache line.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[repr(C)]
+pub struct Tuple64 {
+    /// 8-byte key.
+    pub key: u64,
+    /// 56-byte payload; the first word carries the row id.
+    pub payload: [u64; 7],
+}
+
+impl Tuple for Tuple8 {
+    type K = u32;
+    const WIDTH: usize = 8;
+
+    #[inline]
+    fn new(key: u32, rid: u64) -> Self {
+        Self {
+            key,
+            payload: rid as u32,
+        }
+    }
+    #[inline]
+    fn key(&self) -> u32 {
+        self.key
+    }
+    #[inline]
+    fn payload_word(&self) -> u64 {
+        self.payload as u64
+    }
+    #[inline]
+    fn dummy() -> Self {
+        Self {
+            key: u32::DUMMY,
+            payload: 0,
+        }
+    }
+}
+
+impl Tuple for Tuple16 {
+    type K = u64;
+    const WIDTH: usize = 16;
+
+    #[inline]
+    fn new(key: u64, rid: u64) -> Self {
+        Self { key, payload: rid }
+    }
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
+    }
+    #[inline]
+    fn payload_word(&self) -> u64 {
+        self.payload
+    }
+    #[inline]
+    fn dummy() -> Self {
+        Self {
+            key: u64::DUMMY,
+            payload: 0,
+        }
+    }
+}
+
+impl Tuple for Tuple32 {
+    type K = u64;
+    const WIDTH: usize = 32;
+
+    #[inline]
+    fn new(key: u64, rid: u64) -> Self {
+        Self {
+            key,
+            payload: [rid, 0, 0],
+        }
+    }
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
+    }
+    #[inline]
+    fn payload_word(&self) -> u64 {
+        self.payload[0]
+    }
+    #[inline]
+    fn dummy() -> Self {
+        Self {
+            key: u64::DUMMY,
+            payload: [0; 3],
+        }
+    }
+}
+
+impl Tuple for Tuple64 {
+    type K = u64;
+    const WIDTH: usize = 64;
+
+    #[inline]
+    fn new(key: u64, rid: u64) -> Self {
+        Self {
+            key,
+            payload: [rid, 0, 0, 0, 0, 0, 0],
+        }
+    }
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
+    }
+    #[inline]
+    fn payload_word(&self) -> u64 {
+        self.payload[0]
+    }
+    #[inline]
+    fn dummy() -> Self {
+        Self {
+            key: u64::DUMMY,
+            payload: [0; 7],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_declared() {
+        assert_eq!(std::mem::size_of::<Tuple8>(), Tuple8::WIDTH);
+        assert_eq!(std::mem::size_of::<Tuple16>(), Tuple16::WIDTH);
+        assert_eq!(std::mem::size_of::<Tuple32>(), Tuple32::WIDTH);
+        assert_eq!(std::mem::size_of::<Tuple64>(), Tuple64::WIDTH);
+    }
+
+    #[test]
+    fn lanes_fill_a_cache_line() {
+        assert_eq!(Tuple8::LANES, 8);
+        assert_eq!(Tuple16::LANES, 4);
+        assert_eq!(Tuple32::LANES, 2);
+        assert_eq!(Tuple64::LANES, 1);
+    }
+
+    #[test]
+    fn dummy_is_recognised() {
+        assert!(Tuple8::dummy().is_dummy());
+        assert!(Tuple16::dummy().is_dummy());
+        assert!(Tuple32::dummy().is_dummy());
+        assert!(Tuple64::dummy().is_dummy());
+        assert!(!Tuple8::new(7, 0).is_dummy());
+        assert!(!Tuple64::new(7, 0).is_dummy());
+    }
+
+    #[test]
+    fn payload_carries_rid() {
+        assert_eq!(Tuple8::new(1, 42).payload_word(), 42);
+        assert_eq!(Tuple16::new(1, 42).payload_word(), 42);
+        assert_eq!(Tuple32::new(1, 42).payload_word(), 42);
+        assert_eq!(Tuple64::new(1, 42).payload_word(), 42);
+    }
+
+    #[test]
+    fn key_round_trips_through_u64() {
+        assert_eq!(u32::from_u64(0xdead_beef_u32.to_u64()), 0xdead_beef);
+        assert_eq!(u64::from_u64(0xdead_beef_cafe_u64.to_u64()), 0xdead_beef_cafe);
+    }
+
+    #[test]
+    fn dummy_key_is_all_ones() {
+        assert_eq!(<u32 as Key>::DUMMY, u32::MAX);
+        assert_eq!(<u64 as Key>::DUMMY, u64::MAX);
+        assert!(<u32 as Key>::DUMMY.is_dummy());
+        assert!(!0u32.is_dummy());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based invariants of the foundation types.
+
+use fpart_types::relation::content_checksum;
+use fpart_types::{AlignedBuf, Line, PartitionedRelation, Tuple, Tuple16, Tuple8};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Aligned buffers are always 64-byte aligned and zeroed, for any
+    /// length.
+    #[test]
+    fn aligned_buf_alignment(len in 0usize..4096) {
+        let buf = AlignedBuf::<Tuple8>::zeroed(len);
+        prop_assert_eq!(buf.len(), len);
+        if len > 0 {
+            prop_assert_eq!(buf.as_ptr() as usize % 64, 0);
+            prop_assert!(buf.iter().all(|t| t.key == 0 && t.payload == 0));
+        }
+    }
+
+    /// Partial lines: the valid prefix round-trips, the tail is dummy.
+    #[test]
+    fn partial_line_round_trip(keys in vec(0u32..u32::MAX - 1, 0..=8)) {
+        let tuples: Vec<Tuple8> = keys.iter().enumerate()
+            .map(|(i, &k)| Tuple8::new(k, i as u64))
+            .collect();
+        let line = Line::from_partial(&tuples);
+        prop_assert_eq!(line.valid_count(), tuples.len());
+        let restored: Vec<Tuple8> = line.valid_tuples().collect();
+        prop_assert_eq!(restored, tuples.clone());
+        for lane in tuples.len()..Tuple8::LANES {
+            prop_assert!(line.lane(lane).is_dummy());
+        }
+    }
+
+    /// Histogram layouts: extents partition the allocation exactly, in
+    /// order, with the requested sizes (plus line rounding when asked).
+    #[test]
+    fn histogram_layout_invariants(
+        hist in vec(0usize..200, 1..40),
+        line_align: bool,
+    ) {
+        let rel = PartitionedRelation::<Tuple16>::with_histogram(&hist, line_align);
+        prop_assert_eq!(rel.num_partitions(), hist.len());
+        let mut expect_base = 0usize;
+        for (p, &h) in hist.iter().enumerate() {
+            prop_assert_eq!(rel.partition_base(p), expect_base);
+            let cap = rel.partition_capacity(p);
+            if line_align {
+                prop_assert_eq!(cap, h.div_ceil(Tuple16::LANES) * Tuple16::LANES);
+            } else {
+                prop_assert_eq!(cap, h);
+            }
+            prop_assert!(cap >= h);
+            expect_base += cap;
+        }
+        prop_assert_eq!(rel.allocated_slots(), expect_base);
+        prop_assert_eq!(rel.total_valid(), 0, "starts empty");
+    }
+
+    /// The content checksum is a multiset invariant: any permutation plus
+    /// any number of interspersed dummies leaves it unchanged.
+    #[test]
+    fn checksum_permutation_invariant(
+        keys in vec(0u32..u32::MAX - 1, 0..200),
+        rotate in 0usize..200,
+        dummies in 0usize..20,
+    ) {
+        let tuples: Vec<Tuple8> = keys.iter().enumerate()
+            .map(|(i, &k)| Tuple8::new(k, i as u64))
+            .collect();
+        let mut shuffled = tuples.clone();
+        if !shuffled.is_empty() {
+            let mid = rotate % shuffled.len();
+            shuffled.rotate_left(mid);
+        }
+        for _ in 0..dummies {
+            shuffled.push(Tuple8::dummy());
+        }
+        prop_assert_eq!(
+            content_checksum(tuples.iter().copied()),
+            content_checksum(shuffled.iter().copied())
+        );
+        let (count, _, _) = content_checksum(shuffled.iter().copied());
+        prop_assert_eq!(count as usize, tuples.len(), "dummies not counted");
+    }
+
+    /// Padded layouts reject overfill and report padding exactly.
+    #[test]
+    fn padded_fill_accounting(
+        parts in 1usize..16,
+        capacity in 1usize..64,
+        fills in vec((0usize..64, 0usize..64), 0..16),
+    ) {
+        let mut rel = PartitionedRelation::<Tuple8>::padded(parts, capacity, false);
+        let mut written_total = 0usize;
+        let mut valid_total = 0usize;
+        for (i, &(w, v)) in fills.iter().enumerate().take(parts) {
+            let w = w.min(rel.partition_capacity(i));
+            let v = v.min(w);
+            rel.set_partition_fill(i, w, v);
+            written_total += w;
+            valid_total += v;
+        }
+        prop_assert_eq!(rel.total_written(), written_total);
+        prop_assert_eq!(rel.total_valid(), valid_total);
+        prop_assert_eq!(rel.padding_overhead(), written_total - valid_total);
+    }
+}
