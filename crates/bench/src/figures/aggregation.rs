@@ -20,7 +20,10 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     let domain: Vec<u32> = KeyDistribution::Random.generate_keys(n / 16, scale.seed);
 
     let mut t = TextTable::new(
-        format!("FPGA group-by — {n} rows over {} distinct keys (simulated)", domain.len()),
+        format!(
+            "FPGA group-by — {n} rows over {} distinct keys (simulated)",
+            domain.len()
+        ),
         &[
             "zipf",
             "cache bits",

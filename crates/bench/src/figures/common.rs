@@ -14,13 +14,7 @@ pub fn relation(n: usize, dist: KeyDistribution, seed: u64) -> Relation<Tuple8> 
 
 /// Run the simulated FPGA partitioner in a given mode pair over `n`
 /// random tuples; `raw` swaps the QPI link for the 25.6 GB/s wrapper.
-pub fn simulate_mode(
-    mode: ModePair,
-    n: usize,
-    bits: u32,
-    raw: bool,
-    seed: u64,
-) -> RunReport {
+pub fn simulate_mode(mode: ModePair, n: usize, bits: u32, raw: bool, seed: u64) -> RunReport {
     let (output, input) = split_mode(mode);
     let config = PartitionerConfig {
         partition_fn: PartitionFn::Murmur { bits },

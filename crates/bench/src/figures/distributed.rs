@@ -17,7 +17,9 @@ use crate::Scale;
 
 /// Generate the distributed-scaling report.
 pub fn run(scale: &Scale) -> Vec<TextTable> {
-    let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(scale.fraction, scale.seed);
+    let (r, s) = WorkloadId::A
+        .spec()
+        .row_relations::<Tuple8>(scale.fraction, scale.seed);
     let (expect_matches, expect_checksum) = reference_join(r.tuples(), s.tuples());
 
     let mut t = TextTable::new(

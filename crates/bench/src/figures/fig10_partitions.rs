@@ -27,7 +27,9 @@ fn model_table(threads: usize) -> TextTable {
     let f = PartitionFn::Murmur { bits: 13 };
 
     let mut t = TextTable::new(
-        format!("Figure 10 — workload A join time (s), {threads}-threaded, model of the paper machine"),
+        format!(
+            "Figure 10 — workload A join time (s), {threads}-threaded, model of the paper machine"
+        ),
         &[
             "partitions",
             "CPU part",
@@ -39,8 +41,8 @@ fn model_table(threads: usize) -> TextTable {
         ],
     );
     for parts in PARTITION_AXIS {
-        let cpu_part = 2.0 * N as f64
-            / cpu.throughput_at(f, DistributionKind::Linear, threads, 8, parts);
+        let cpu_part =
+            2.0 * N as f64 / cpu.throughput_at(f, DistributionKind::Linear, threads, 8, parts);
         let cpu_bp = join.build_probe_seconds(N, N, parts, 8, threads, false);
         // FPGA partition time is independent of the fan-out (PAD/RID).
         let fpga_part = 2.0 * fpga.partition_seconds(N, 8, ModePair::PadRid);
@@ -55,7 +57,9 @@ fn model_table(threads: usize) -> TextTable {
             fnum(fpga_part + hyb_bp),
         ]);
     }
-    t.note("FPGA (PAD/RID) partitioning is flat across fan-outs; CPU partitioning grows at 1 thread");
+    t.note(
+        "FPGA (PAD/RID) partitioning is flat across fan-outs; CPU partitioning grows at 1 thread",
+    );
     t
 }
 
@@ -65,16 +69,28 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
 
     // Measured locally at scale: sweep partition bits around the scaled
     // default to show the same shape on real code.
-    let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(scale.fraction, scale.seed);
+    let (r, s) = WorkloadId::A
+        .spec()
+        .row_relations::<Tuple8>(scale.fraction, scale.seed);
     let base_bits = scale.partition_bits_for(13);
     let mut m = TextTable::new(
         format!(
             "Figure 10 (measured on this host) — workload A at scale, {} threads",
             scale.host_threads
         ),
-        &["partitions", "CPU part (s)", "CPU b+p (s)", "FPGA part (sim s)", "hyb b+p (s)"],
+        &[
+            "partitions",
+            "CPU part (s)",
+            "CPU b+p (s)",
+            "FPGA part (sim s)",
+            "hyb b+p (s)",
+        ],
     );
-    for bits in [base_bits.saturating_sub(4).max(2), base_bits.saturating_sub(2), base_bits] {
+    for bits in [
+        base_bits.saturating_sub(4).max(2),
+        base_bits.saturating_sub(2),
+        base_bits,
+    ] {
         let f = PartitionFn::Murmur { bits };
         let join = CpuRadixJoin::new(f, scale.host_threads);
         let (_, report) = join.execute(&r, &s);

@@ -36,8 +36,8 @@ fn model_table(name: &str, r_n: u64, s_n: u64) -> TextTable {
         ],
     );
     for threads in THREAD_AXIS {
-        let cpu_part = (r_n + s_n) as f64
-            / cpu.throughput_at(f, DistributionKind::Linear, threads, 8, 8192);
+        let cpu_part =
+            (r_n + s_n) as f64 / cpu.throughput_at(f, DistributionKind::Linear, threads, 8, 8192);
         let cpu_bp = join.build_probe_seconds(r_n, s_n, 8192, 8, threads, false);
         let rid = fpga.partition_seconds(r_n, 8, ModePair::PadRid)
             + fpga.partition_seconds(s_n, 8, ModePair::PadRid);
@@ -85,11 +85,21 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
 
     // Measured at scale on this host (thread axis capped by the host).
     let mut m = TextTable::new(
-        format!("Figure 11 (measured on this host, {} threads)", scale.host_threads),
-        &["workload", "CPU total (s)", "hyb RID: FPGA part (sim s) + b+p (s)", "hyb VRID part (sim s)"],
+        format!(
+            "Figure 11 (measured on this host, {} threads)",
+            scale.host_threads
+        ),
+        &[
+            "workload",
+            "CPU total (s)",
+            "hyb RID: FPGA part (sim s) + b+p (s)",
+            "hyb VRID part (sim s)",
+        ],
     );
     for id in [WorkloadId::A, WorkloadId::B] {
-        let (r, s) = id.spec().row_relations::<Tuple8>(scale.fraction, scale.seed);
+        let (r, s) = id
+            .spec()
+            .row_relations::<Tuple8>(scale.fraction, scale.seed);
         let bits = scale.partition_bits_for(13);
         let f = PartitionFn::Murmur { bits };
         let (_, cpu_rep) = CpuRadixJoin::new(f, scale.host_threads).execute(&r, &s);
@@ -103,7 +113,9 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
             .expect("hybrid join");
 
         // VRID partitioning of the same data as columns.
-        let (rc, sc) = id.spec().column_relations::<Tuple8>(scale.fraction, scale.seed);
+        let (rc, sc) = id
+            .spec()
+            .column_relations::<Tuple8>(scale.fraction, scale.seed);
         let vrid_cfg = PartitionerConfig {
             partition_fn: f,
             ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Vrid)

@@ -37,7 +37,9 @@ fn kind(dist: KeyDistribution) -> DistributionKind {
 /// bin is multiplied by `1/scale` so the cache-fit model sees
 /// paper-sized partitions.
 fn histograms(id: WorkloadId, scale: &Scale, f: PartitionFn) -> (Vec<u64>, Vec<u64>) {
-    let (r, s) = id.spec().row_relations::<Tuple8>(scale.fraction, scale.seed);
+    let (r, s) = id
+        .spec()
+        .row_relations::<Tuple8>(scale.fraction, scale.seed);
     let p = Partitioner::cpu(f, scale.host_threads);
     let (rp, _) = p.partition(&r).expect("partition r");
     let (sp, _) = p.partition(&s).expect("partition s");
@@ -64,7 +66,10 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         let (hash_r_hist, hash_s_hist) = histograms(id, scale, PartitionFn::Murmur { bits });
 
         let mut t = TextTable::new(
-            format!("Figure 12 — {} join time (s), model + real partition balance", spec.name),
+            format!(
+                "Figure 12 — {} join time (s), model + real partition balance",
+                spec.name
+            ),
             &[
                 "threads",
                 "CPU radix part",

@@ -44,9 +44,10 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         ],
     );
     for z in ZIPF_AXIS {
-        let (r, s) = WorkloadId::A
-            .spec()
-            .skewed_row_relations::<Tuple8>(scale.fraction, z, scale.seed);
+        let (r, s) =
+            WorkloadId::A
+                .spec()
+                .skewed_row_relations::<Tuple8>(scale.fraction, z, scale.seed);
         // Real histograms from the skewed data (partition with murmur).
         let p = Partitioner::cpu(f, scale.host_threads);
         let (rp, _) = p.partition(&r).expect("partition r");
@@ -55,7 +56,13 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         let s_hist: Vec<u64> = sp.histogram().iter().map(|&x| x as u64 * up).collect();
 
         let cpu_part = 2.0 * n as f64
-            / cpu.throughput_at(PartitionFn::Murmur { bits: 13 }, DistributionKind::Linear, 10, 8, 8192);
+            / cpu.throughput_at(
+                PartitionFn::Murmur { bits: 13 },
+                DistributionKind::Linear,
+                10,
+                8,
+                8192,
+            );
         let fpga_part = 2.0 * fpga.partition_seconds(n, 8, ModePair::HistRid);
         let bp_cpu = join.build_probe_seconds_skewed(&r_hist, &s_hist, 8, 10, false);
         let bp_hyb = join.build_probe_seconds_skewed(&r_hist, &s_hist, 8, 10, true);
@@ -88,7 +95,9 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
             pad_outcome,
         ]);
     }
-    t.note("paper: FPGA HIST/RID partitioning is slower than 10-core CPU partitioning (QPI bound),");
+    t.note(
+        "paper: FPGA HIST/RID partitioning is slower than 10-core CPU partitioning (QPI bound),",
+    );
     t.note("but would be 1.56x faster at the raw 800 Mt/s; PAD fails only above zipf ~0.25 (§5.4)");
     t.note(scale_note(scale));
     vec![t]
@@ -137,9 +146,10 @@ mod tests {
         let bits = scale.partition_bits_for(13);
         let f = PartitionFn::Murmur { bits };
         let survives = |z: f64| {
-            let (_, s) = WorkloadId::A
-                .spec()
-                .skewed_row_relations::<Tuple8>(scale.fraction, z, scale.seed);
+            let (_, s) =
+                WorkloadId::A
+                    .spec()
+                    .skewed_row_relations::<Tuple8>(scale.fraction, z, scale.seed);
             Partitioner::fpga_with_modes(f, OutputMode::pad_default(), InputMode::Rid)
                 .partition(&s)
                 .is_ok()

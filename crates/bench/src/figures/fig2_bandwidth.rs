@@ -56,9 +56,13 @@ pub fn run(_scale: &Scale) -> Vec<TextTable> {
             fnum(fpga_i.gbps(mix)),
         ]);
     }
-    t.note("* cells interpolate the Section 4.8 anchors: B(r=2)=7.05, B(r=1)=6.97, B(r=0.5)=5.94 GB/s");
+    t.note(
+        "* cells interpolate the Section 4.8 anchors: B(r=2)=7.05, B(r=1)=6.97, B(r=0.5)=5.94 GB/s",
+    );
     t.note("CPU curve anchored on Figure 9's 506 Mtuples/s (12.14 GB/s at r=2) and the ~30 GB/s ceiling");
-    t.note("interference factors 0.72 (CPU) / 0.62 (FPGA) estimated from Figure 2's interfered curves");
+    t.note(
+        "interference factors 0.72 (CPU) / 0.62 (FPGA) estimated from Figure 2's interfered curves",
+    );
     vec![t]
 }
 

@@ -32,9 +32,7 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     let mean = n / parts;
 
     let mut t = TextTable::new(
-        format!(
-            "Figure 3 — tuples per partition, {parts} partitions, {n} keys (mean fill {mean})"
-        ),
+        format!("Figure 3 — tuples per partition, {parts} partitions, {n} keys (mean fill {mean})"),
         &[
             "distribution",
             "method",

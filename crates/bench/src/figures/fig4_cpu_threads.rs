@@ -44,8 +44,12 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     let mut cells = vec!["hash (all)".to_string()];
     for threads in THREAD_AXIS {
         cells.push(fnum(
-            model.throughput(PartitionFn::Murmur { bits: 13 }, DistributionKind::Linear, threads, 8)
-                / 1e6,
+            model.throughput(
+                PartitionFn::Murmur { bits: 13 },
+                DistributionKind::Linear,
+                threads,
+                8,
+            ) / 1e6,
         ));
     }
     t.row(cells);

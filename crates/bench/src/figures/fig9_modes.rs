@@ -40,7 +40,10 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     let cpu_model = CpuCostModel::paper();
 
     let mut t = TextTable::new(
-        format!("Figure 9 — partitioning throughput (Mtuples/s), {n} 8B tuples, {} partitions", 1 << bits),
+        format!(
+            "Figure 9 — partitioning throughput (Mtuples/s), {n} 8B tuples, {} partitions",
+            1 << bits
+        ),
         &["series", "paper", "model", "ours"],
     );
     t.row(vec![
@@ -77,7 +80,14 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     t.row(vec![
         "CPU (10 cores)".into(),
         fnum(506.0),
-        fnum(cpu_model.throughput(PartitionFn::Murmur { bits: 13 }, DistributionKind::Linear, 10, 8) / 1e6),
+        fnum(
+            cpu_model.throughput(
+                PartitionFn::Murmur { bits: 13 },
+                DistributionKind::Linear,
+                10,
+                8,
+            ) / 1e6,
+        ),
         format!(
             "{} (measured, {}t host)",
             fnum(cpu_report.mtuples_per_sec()),
@@ -93,10 +103,15 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
             label.into(),
             fnum(paper),
             fnum(raw_model.p_total(n as u64, 8, mode) / 1e6),
-            format!("{} (sim, 25.6 GB/s wrapper)", fnum(report.mtuples_per_sec())),
+            format!(
+                "{} (sim, 25.6 GB/s wrapper)",
+                fnum(report.mtuples_per_sec())
+            ),
         ]);
     }
-    t.note("ordering to check: HIST/RID < HIST/VRID <= PAD/RID < PAD/VRID ~ CPU; raw PAD ~ 3x PAD/RID");
+    t.note(
+        "ordering to check: HIST/RID < HIST/VRID <= PAD/RID < PAD/VRID ~ CPU; raw PAD ~ 3x PAD/RID",
+    );
     t.note(scale_note(scale));
     vec![t]
 }
@@ -114,9 +129,7 @@ mod tests {
         };
         let n = scale.n_128m();
         let bits = scale.partition_bits_for(13);
-        let sim = |mode, raw| {
-            simulate_mode(mode, n, bits, raw, 3).mtuples_per_sec()
-        };
+        let sim = |mode, raw| simulate_mode(mode, n, bits, raw, 3).mtuples_per_sec();
         let hist_rid = sim(ModePair::HistRid, false);
         let pad_rid = sim(ModePair::PadRid, false);
         let pad_vrid = sim(ModePair::PadVrid, false);

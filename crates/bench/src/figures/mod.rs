@@ -5,6 +5,7 @@
 
 pub mod aggregation;
 pub mod common;
+pub mod degradation;
 pub mod distributed;
 pub mod fig10_partitions;
 pub mod fig11_threads;
@@ -116,5 +117,10 @@ pub const ALL: &[Figure] = &[
         id: "aggregation",
         description: "Extension: FPGA group-by with synchronizing caches (Discussion)",
         run: aggregation::run,
+    },
+    Figure {
+        id: "degradation",
+        description: "Extension: fault injection — degradation cost vs abort point (Section 5.4)",
+        run: degradation::run,
     },
 ];

@@ -31,7 +31,9 @@ pub fn run(_scale: &Scale) -> Vec<TextTable> {
         ]);
     }
     t.note("model: BRAM% = 6.3 + 17.43 x combiner MB (lanes^2 x partitions x width) — max residual 0.9%");
-    t.note("DSP peaks at 16B (64-bit murmur needs more multipliers) then falls as combiners shrink");
+    t.note(
+        "DSP peaks at 16B (64-bit murmur needs more multipliers) then falls as combiners shrink",
+    );
     vec![t]
 }
 
@@ -42,7 +44,9 @@ mod tests {
     #[test]
     fn reproduces_all_four_rows() {
         let s = crate::table::render_tables(&run(&Scale::default_scale()));
-        for needle in ["37%", "76%", "14%", "28%", "42%", "21%", "27%", "24%", "15%", "6%"] {
+        for needle in [
+            "37%", "76%", "14%", "28%", "42%", "21%", "27%", "24%", "15%", "6%",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
         assert!(s.contains("4096"), "8B combiner storage is 4 MB = 4096 KB");

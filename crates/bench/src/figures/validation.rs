@@ -71,7 +71,10 @@ mod tests {
             seed: 9,
         };
         let out = crate::table::render_tables(&run(&scale));
-        for line in out.lines().filter(|l| l.contains('%') && l.contains('+') || l.contains("-")) {
+        for line in out
+            .lines()
+            .filter(|l| l.contains('%') && l.contains('+') || l.contains("-"))
+        {
             if let Some(pct) = line
                 .split_whitespace()
                 .last()

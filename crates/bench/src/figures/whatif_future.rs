@@ -113,7 +113,10 @@ mod tests {
             prev = t;
         }
         // And saturates: doubling past saturation changes nothing.
-        assert_eq!(sweep.throughput(64.0, 200e6), sweep.throughput(128.0, 200e6));
+        assert_eq!(
+            sweep.throughput(64.0, 200e6),
+            sweep.throughput(128.0, 200e6)
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl TextTable {
                     line.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align labels.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                {
                     line.push_str(&format!("{cell:>w$}"));
                 } else {
                     line.push_str(&format!("{cell:<w$}"));

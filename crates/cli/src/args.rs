@@ -17,6 +17,7 @@ commands:
   groupby     run the FPGA aggregating-cache group-by (simulated)
   sort        sort a generated relation via partitioning
   model       print the Section 4.6 analytical prediction
+  faults      sweep fault-injection points through the degradation chain
   help        show this text
 
 common flags:
@@ -59,7 +60,15 @@ sort flags:
 
 model flags:
   --mode <m>            as above (default pad/rid)
-  --gbps <g>            override link bandwidth (flat curve)";
+  --gbps <g>            override link bandwidth (flat curve)
+
+faults flags:
+  --sweep <k>           PAD-overflow injection points to sweep (default 8)
+  --pad <p>             PAD padding per partition in tuples (default 64)
+  --fault-seed <s>      seed for the background fault plan (default 7)
+  --qpi <q>             QPI transients injected per pass (default 2)
+  --burst <b>           worst-case CRC replay burst length (default 3)
+  --policy <p>          full|hist|cpu|fail escalation policy (default full)";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,6 +180,31 @@ pub enum Command {
         mode: ModePair,
         /// Optional flat link bandwidth.
         gbps: Option<f64>,
+    },
+    /// `fpart faults`.
+    Faults {
+        /// Tuples.
+        n: usize,
+        /// Distribution.
+        dist: KeyDistribution,
+        /// Data seed.
+        seed: u64,
+        /// Threads for the CPU reference / fallback.
+        threads: usize,
+        /// Partition bits.
+        bits: u32,
+        /// PAD padding per partition in tuples.
+        pad: usize,
+        /// Number of PAD-overflow injection points swept.
+        sweep: usize,
+        /// Seed for the background fault plan (QPI / page-table noise).
+        fault_seed: u64,
+        /// QPI transients injected per pass.
+        qpi: u32,
+        /// Worst-case CRC replay burst length.
+        burst: u32,
+        /// Escalation policy (`None` = the full PAD → HIST → CPU chain).
+        policy: Option<FallbackPolicy>,
     },
     /// `fpart help`.
     Help,
@@ -317,7 +351,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 backend: parse_backend(flags.get("backend"), Backend::Cpu)?,
                 threads: flags.num("threads", default_threads())?,
                 bits: flags.num("bits", 13)?,
-                zipf: flags.get("zipf").map(|v| v.parse()).transpose().map_err(|_| "--zipf: bad value".to_string())?,
+                zipf: flags
+                    .get("zipf")
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|_| "--zipf: bad value".to_string())?,
                 seed: flags.num("seed", 42)?,
             })
         }
@@ -390,6 +428,44 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .map(|v| v.parse())
                     .transpose()
                     .map_err(|_| "--gbps: bad value".to_string())?,
+            })
+        }
+        "faults" => {
+            flags.unknown_check(&[
+                "n",
+                "dist",
+                "seed",
+                "threads",
+                "bits",
+                "pad",
+                "sweep",
+                "fault-seed",
+                "qpi",
+                "burst",
+                "policy",
+            ])?;
+            let sweep: usize = flags.num("sweep", 8)?;
+            if sweep == 0 {
+                return Err("--sweep must be at least 1".into());
+            }
+            Ok(Command::Faults {
+                n: flags.num("n", 65_536)?,
+                dist: parse_dist(flags.get("dist"))?,
+                seed: flags.num("seed", 42)?,
+                threads: flags.num("threads", default_threads())?,
+                bits: flags.num("bits", 6)?,
+                pad: flags.num("pad", 64)?,
+                sweep,
+                fault_seed: flags.num("fault-seed", 7)?,
+                qpi: flags.num("qpi", 2)?,
+                burst: flags.num("burst", 3)?,
+                policy: match flags.get("policy").unwrap_or("full") {
+                    "full" | "chain" => None,
+                    "hist" => Some(FallbackPolicy::HistMode),
+                    "cpu" => Some(FallbackPolicy::CpuPartitioner),
+                    "fail" => Some(FallbackPolicy::Fail),
+                    other => return Err(format!("--policy: unknown policy {other:?}")),
+                },
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -492,6 +568,57 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn faults_defaults_and_flags() {
+        let cmd = parse(&argv("faults")).unwrap();
+        match cmd {
+            Command::Faults {
+                n,
+                sweep,
+                pad,
+                fault_seed,
+                qpi,
+                burst,
+                policy,
+                ..
+            } => {
+                assert_eq!(n, 65_536);
+                assert_eq!(sweep, 8);
+                assert_eq!(pad, 64);
+                assert_eq!(fault_seed, 7);
+                assert_eq!((qpi, burst), (2, 3));
+                assert_eq!(policy, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "faults --sweep 4 --pad 0 --policy cpu --fault-seed 99 --burst 10",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Faults {
+                sweep,
+                pad,
+                policy,
+                fault_seed,
+                burst,
+                ..
+            } => {
+                assert_eq!((sweep, pad), (4, 0));
+                assert_eq!(policy, Some(FallbackPolicy::CpuPartitioner));
+                assert_eq!((fault_seed, burst), (99, 10));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_rejects_bad_flags() {
+        assert!(parse(&argv("faults --sweep 0")).is_err());
+        assert!(parse(&argv("faults --policy never")).is_err());
+        assert!(parse(&argv("faults --gbps 1.0")).is_err());
     }
 
     #[test]

@@ -60,7 +60,143 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             cache_bits,
             seed,
         } => groupby(n, groups, zipf, cache_bits, seed),
+        Command::Faults {
+            n,
+            dist,
+            seed,
+            threads,
+            bits,
+            pad,
+            sweep,
+            fault_seed,
+            qpi,
+            burst,
+            policy,
+        } => faults(FaultsArgs {
+            n,
+            dist,
+            seed,
+            threads,
+            bits,
+            pad,
+            sweep,
+            fault_seed,
+            qpi,
+            burst,
+            policy,
+        }),
     }
+}
+
+/// Arguments of the `faults` sweep (bundled; the flag surface is wide).
+struct FaultsArgs {
+    n: usize,
+    dist: KeyDistribution,
+    seed: u64,
+    threads: usize,
+    bits: u32,
+    pad: usize,
+    sweep: usize,
+    fault_seed: u64,
+    qpi: u32,
+    burst: u32,
+    policy: Option<FallbackPolicy>,
+}
+
+fn faults(a: FaultsArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use fpart::join::fallback::AttemptPath;
+
+    let keys = a.dist.generate_keys::<u32>(a.n, a.seed);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let f = PartitionFn::Murmur { bits: a.bits };
+    let config = PartitionerConfig {
+        partition_fn: f,
+        ..PartitionerConfig::paper_default(
+            OutputMode::Pad {
+                padding: PaddingSpec::Tuples(a.pad),
+            },
+            InputMode::Rid,
+        )
+    };
+    let chain = match a.policy {
+        None => EscalationChain::new(a.threads),
+        Some(p) => EscalationChain::from_policy(p, a.threads),
+    };
+
+    // Fault-free references: the CPU histogram every degraded run must
+    // reproduce, and the clean PAD cycle count recovery cost is measured
+    // against.
+    let (cpu_parts, _) = CpuPartitioner::new(f, a.threads).partition(&rel);
+    let (_, clean) = FpgaPartitioner::new(config.clone()).partition(&rel)?;
+    println!(
+        "fault-free PAD/RID run: {} tuples, {} partitions, {} cycles",
+        a.n,
+        f.fan_out(),
+        clean.total_cycles()
+    );
+
+    // Background noise (QPI CRC transients + page-table retries) comes
+    // from the seeded plan; the swept PAD overflow is added on top.
+    let spec = FaultSpec {
+        qpi_transients_per_pass: a.qpi,
+        qpi_burst_max: a.burst,
+        // Line operations scale with the relation (8 tuples per line,
+        // read and write sides both counted).
+        op_window: (a.n as u64 / 4).max(64),
+        ..FaultSpec::default()
+    };
+    println!(
+        "sweeping {} injection points (fault seed {}, {} QPI transients/pass, burst ≤ {}, \
+         chain: hist_retry={} cpu_fallback={}):",
+        a.sweep, a.fault_seed, a.qpi, a.burst, chain.hist_retry, chain.cpu_fallback
+    );
+
+    for i in 1..=a.sweep {
+        let consumed = a.n as u64 * i as u64 / (a.sweep as u64 + 1);
+        let plan = FaultPlan::from_seed(a.fault_seed, &spec).with(Fault::PadOverflow { consumed });
+        let p = FpgaPartitioner::new(config.clone()).with_faults(plan);
+        match chain.run(&p, &rel) {
+            Ok((parts, report)) => {
+                let recovery = report
+                    .fpga
+                    .as_ref()
+                    .map(|r| {
+                        format!(
+                            "{} cycles vs {} clean",
+                            r.total_cycles(),
+                            clean.total_cycles()
+                        )
+                    })
+                    .unwrap_or_else(|| "host time domain".into());
+                let detected = report
+                    .abort_points()
+                    .first()
+                    .map(|&at| format!("detected@{at}"))
+                    .unwrap_or_else(|| "no abort".into());
+                println!(
+                    "  inject@{consumed:>8}: {} via {:<9} {detected:<18} wasted {:>8} cycles, \
+                     {recovery}; histogram {}",
+                    if report.degraded() {
+                        format!("degraded ({} attempts)", report.attempts.len())
+                    } else {
+                        "completed".into()
+                    },
+                    report.final_path().label(),
+                    report.wasted_cycles(),
+                    if parts.histogram() == cpu_parts.histogram() {
+                        "matches CPU"
+                    } else {
+                        "MISMATCH"
+                    }
+                );
+                if report.final_path() == AttemptPath::Cpu {
+                    println!("           (FPGA exhausted; request served by the CPU fallback)");
+                }
+            }
+            Err(e) => println!("  inject@{consumed:>8}: FAILED — {e}"),
+        }
+    }
+    Ok(())
 }
 
 fn select(n: usize, pct: u64, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
@@ -123,7 +259,11 @@ fn dist(
     }
     println!(
         "distributed join: {nodes} nodes over {}, |R| = {}, |S| = {}",
-        if infiniband { "FDR InfiniBand" } else { "10 GbE" },
+        if infiniband {
+            "FDR InfiniBand"
+        } else {
+            "10 GbE"
+        },
         r.len(),
         s.len()
     );

@@ -59,18 +59,19 @@ pub use fpart_types as types;
 
 mod partitioner;
 
-pub use partitioner::{Partitioner, PartitionStats};
+pub use partitioner::{PartitionStats, Partitioner};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::partitioner::{Partitioner, PartitionStats};
+    pub use crate::partitioner::{PartitionStats, Partitioner};
     pub use fpart_cpu::{CpuPartitioner, Strategy};
     pub use fpart_datagen::{KeyDistribution, Workload, WorkloadId};
-    pub use fpart_fpga::{
-        FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig,
-    };
+    pub use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig};
     pub use fpart_hash::PartitionFn;
-    pub use fpart_join::{CpuRadixJoin, HybridJoin};
+    pub use fpart_hwsim::{Fault, FaultPlan, FaultSpec};
+    pub use fpart_join::{
+        CpuRadixJoin, DegradationReport, EscalationChain, FallbackPolicy, HybridJoin,
+    };
     pub use fpart_types::{
         ColumnRelation, FpartError, PartitionedRelation, Relation, Tuple, Tuple16, Tuple32,
         Tuple64, Tuple8,

@@ -8,6 +8,7 @@ use std::time::Duration;
 use fpart_cpu::{CpuPartitioner, Strategy};
 use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig};
 use fpart_hash::PartitionFn;
+use fpart_join::fallback::{AttemptPath, AttemptRecord, DegradationReport, EscalationChain};
 use fpart_types::{PartitionedRelation, Relation, Result, Tuple};
 
 /// How long a partitioning run took, in the back-end's own time domain.
@@ -70,7 +71,11 @@ impl Partitioner {
     }
 
     /// A CPU partitioner with an explicit strategy.
-    pub fn cpu_with_strategy(partition_fn: PartitionFn, threads: usize, strategy: Strategy) -> Self {
+    pub fn cpu_with_strategy(
+        partition_fn: PartitionFn,
+        threads: usize,
+        strategy: Strategy,
+    ) -> Self {
         Self::Cpu(CpuPartitioner::new(partition_fn, threads).with_strategy(strategy))
     }
 
@@ -124,6 +129,44 @@ impl Partitioner {
             }
         }
     }
+
+    /// Partition with graceful degradation: drive the FPGA back-end
+    /// through the given PAD → HIST → CPU [`EscalationChain`], so a
+    /// PAD overflow, exhausted link replay or BRAM soft error degrades to
+    /// the next path instead of failing the request. The returned
+    /// [`DegradationReport`] records every attempt, its abort cause and
+    /// the simulated work each abort discarded.
+    ///
+    /// The CPU back-end cannot fail, so it reports a single successful
+    /// CPU attempt regardless of the chain.
+    ///
+    /// # Errors
+    /// Propagates the last back-end error when every enabled chain step
+    /// has failed (or immediately for an invalid configuration).
+    pub fn partition_with_fallback<T: Tuple>(
+        &self,
+        rel: &Relation<T>,
+        chain: &EscalationChain,
+    ) -> Result<(PartitionedRelation<T>, DegradationReport)> {
+        match self {
+            Self::Cpu(p) => {
+                let (parts, report) = p.partition(rel);
+                Ok((
+                    parts,
+                    DegradationReport {
+                        attempts: vec![AttemptRecord {
+                            path: AttemptPath::Cpu,
+                            error: None,
+                            wasted_cycles: 0,
+                        }],
+                        fpga: None,
+                        cpu: Some(report),
+                    },
+                ))
+            }
+            Self::Fpga(p) => chain.run(p, rel),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +200,43 @@ mod tests {
         let (parts, _) = p.partition(&r).unwrap();
         assert_eq!(parts.total_valid(), 4000);
         assert_eq!(p.partition_fn(), f);
+    }
+
+    #[test]
+    fn cpu_backend_reports_single_attempt_chain() {
+        let f = PartitionFn::Murmur { bits: 4 };
+        let chain = EscalationChain::new(2);
+        let (parts, report) = Partitioner::cpu(f, 2)
+            .partition_with_fallback(&rel(), &chain)
+            .unwrap();
+        assert_eq!(parts.total_valid(), 4000);
+        assert!(!report.degraded());
+        assert_eq!(report.final_path(), AttemptPath::Cpu);
+        assert!(report.cpu.is_some());
+    }
+
+    #[test]
+    fn fpga_backend_degrades_through_chain() {
+        use fpart_fpga::PaddingSpec;
+        // Full skew with zero padding: the PAD attempt must overflow and
+        // the chain must finish the job in HIST mode.
+        let f = PartitionFn::Murmur { bits: 5 };
+        let skew = Relation::<Tuple8>::from_keys(&vec![3u32; 4096]);
+        let p = Partitioner::fpga_with_modes(
+            f,
+            OutputMode::Pad {
+                padding: PaddingSpec::Tuples(0),
+            },
+            InputMode::Rid,
+        );
+        let chain = EscalationChain::new(2);
+        let (parts, report) = p.partition_with_fallback(&skew, &chain).unwrap();
+        assert_eq!(parts.total_valid(), 4096);
+        assert!(report.degraded());
+        assert_eq!(report.final_path(), AttemptPath::Hist);
+        // Histogram equals a direct CPU run.
+        let (cpu_parts, _) = Partitioner::cpu(f, 2).partition(&skew).unwrap();
+        assert_eq!(parts.histogram(), cpu_parts.histogram());
     }
 
     #[test]

@@ -113,7 +113,8 @@ impl FpgaCostModel {
 
     /// `L_FPGA = (c_hashing + c_writecomb + c_fifos) · T_FPGA` (eq. 4).
     pub fn latency_seconds(&self, tuple_width: usize) -> f64 {
-        let cycles = fpart_hash::MURMUR32_PIPELINE_STAGES as u64 + self.c_writecomb(tuple_width) + 4;
+        let cycles =
+            fpart_hash::MURMUR32_PIPELINE_STAGES as u64 + self.c_writecomb(tuple_width) + 4;
         cycles as f64 * self.platform.fpga_period()
     }
 
@@ -228,7 +229,10 @@ mod tests {
             .map(|&w| m.data_gbps(N, w, ModePair::HistRid))
             .collect();
         for g in &gbps {
-            assert!((g - gbps[0]).abs() < 0.2, "GB/s flat across widths: {gbps:?}");
+            assert!(
+                (g - gbps[0]).abs() < 0.2,
+                "GB/s flat across widths: {gbps:?}"
+            );
         }
     }
 

@@ -147,7 +147,10 @@ mod tests {
         let partition = (R + S) as f64 / 506e6;
         let total = partition + bp;
         let throughput = (R + S) as f64 / total / 1e6;
-        assert!((throughput - 436.0).abs() < 10.0, "{throughput:.0} Mtuples/s");
+        assert!(
+            (throughput - 436.0).abs() < 10.0,
+            "{throughput:.0} Mtuples/s"
+        );
     }
 
     /// Figure 10's shape: fewer partitions → slower build+probe; at 8192

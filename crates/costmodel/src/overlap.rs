@@ -173,18 +173,19 @@ mod tests {
         let build_alone = m.build_seconds(N, false);
         let build_interf = m.build_seconds(N, true);
         assert!(build_interf > build_alone);
-        assert!(build_interf < build_alone * 1.5, "only the memory share slows");
+        assert!(
+            build_interf < build_alone * 1.5,
+            "only the memory share slows"
+        );
     }
 
     /// With one thread the build phase dominates the window; with ten the
     /// FPGA does — the schedule adapts either way and stays correct.
     #[test]
-    fn window_owner_flips_with_threads(){
+    fn window_owner_flips_with_threads() {
         let m1 = OverlapModel::paper(1);
         assert!(m1.build_seconds(N, true) > m1.fpga_interfered.partition_seconds(N, 8, m1.mode));
         let m10 = OverlapModel::paper(10);
-        assert!(
-            m10.build_seconds(N, true) < m10.fpga_interfered.partition_seconds(N, 8, m10.mode)
-        );
+        assert!(m10.build_seconds(N, true) < m10.fpga_interfered.partition_seconds(N, 8, m10.mode));
     }
 }

@@ -112,14 +112,16 @@ impl CpuPartitioner {
         let thread_hists: Vec<Vec<usize>> = if threads == 1 {
             vec![histogram::build(chunks[0], f)]
         } else {
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .iter()
-                    .map(|chunk| s.spawn(move |_| histogram::build(chunk, f)))
+                    .map(|chunk| s.spawn(move || histogram::build(chunk, f)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("histogram worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("histogram worker"))
+                    .collect()
             })
-            .expect("histogram scope")
         };
         let hist_time = t0.elapsed();
 
@@ -151,13 +153,12 @@ impl CpuPartitioner {
             if threads == 1 {
                 scatter(chunks[0], bases[0].clone());
             } else {
-                crossbeam::thread::scope(|s| {
+                std::thread::scope(|s| {
                     for (chunk, b) in chunks.iter().zip(bases) {
                         let scatter = &scatter;
-                        s.spawn(move |_| scatter(chunk, b));
+                        s.spawn(move || scatter(chunk, b));
                     }
-                })
-                .expect("scatter scope");
+                });
             }
         }
         let scatter_time = t1.elapsed();
@@ -334,7 +335,9 @@ mod tests {
         let r = rel(5000, KeyDistribution::ReverseGrid);
         let f = PartitionFn::Murmur { bits: 4 };
         let a = CpuPartitioner::new(f, 3)
-            .with_strategy(Strategy::Swwcb { non_temporal: false })
+            .with_strategy(Strategy::Swwcb {
+                non_temporal: false,
+            })
             .partition(&r)
             .0;
         let b = CpuPartitioner::new(f, 3).partition(&r).0;
@@ -370,7 +373,10 @@ mod tests {
     #[test]
     fn radix_and_hash_agree_on_totals() {
         let r = rel(3000, KeyDistribution::Grid);
-        for f in [PartitionFn::Radix { bits: 6 }, PartitionFn::Murmur { bits: 6 }] {
+        for f in [
+            PartitionFn::Radix { bits: 6 },
+            PartitionFn::Murmur { bits: 6 },
+        ] {
             let (out, _) = CpuPartitioner::new(f, 2).partition(&r);
             check(&r, &out, f);
         }

@@ -191,11 +191,11 @@ pub fn range_partition_parallel<T: Tuple>(
     let chunks: Vec<&[T]> = tuples.chunks(chunk.max(1)).collect();
 
     let t0 = Instant::now();
-    let thread_hists: Vec<Vec<usize>> = crossbeam::thread::scope(|s| {
+    let thread_hists: Vec<Vec<usize>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|c| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut h = vec![0usize; parts];
                     for t in *c {
                         h[splitters.partition_of(t.key())] += 1;
@@ -204,9 +204,11 @@ pub fn range_partition_parallel<T: Tuple>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("histogram worker")).collect()
-    })
-    .expect("histogram scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("histogram worker"))
+            .collect()
+    });
     let hist_time = t0.elapsed();
 
     let (global, bases) = crate::histogram::thread_bases(&thread_hists);
@@ -215,9 +217,9 @@ pub fn range_partition_parallel<T: Tuple>(
     {
         let writer = SharedWriter::new(&mut out);
         let writer_ref = &writer;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (c, b) in chunks.iter().zip(bases) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut wc = Swwcb::new(b, true);
                     for &t in *c {
                         // SAFETY: per-thread extents are disjoint by
@@ -228,8 +230,7 @@ pub fn range_partition_parallel<T: Tuple>(
                     unsafe { wc.drain(writer_ref) };
                 });
             }
-        })
-        .expect("scatter scope");
+        });
     }
     let scatter_time = t1.elapsed();
 
@@ -318,7 +319,10 @@ mod tests {
         let equi = RangeSplitters::equi_width(0u32, u32::MAX - 1, 16);
         let (p1, _) = range_partition(&rel, &equi);
         let max_equi = *p1.histogram().iter().max().unwrap();
-        assert_eq!(max_equi, 10_000, "everything lands in one equi-width bucket");
+        assert_eq!(
+            max_equi, 10_000,
+            "everything lands in one equi-width bucket"
+        );
 
         let sampled = RangeSplitters::from_sample(&keys, 16, 2048, 1);
         let (p2, _) = range_partition(&rel, &sampled);
@@ -354,7 +358,11 @@ mod parallel_tests {
         let (multi, report) = range_partition_parallel(&rel, &splitters, 4);
         assert_eq!(report.threads, 4);
         assert_eq!(single.histogram(), multi.histogram());
-        assert_eq!(single.raw_data(), multi.raw_data(), "thread-ordered layout is identical");
+        assert_eq!(
+            single.raw_data(),
+            multi.raw_data(),
+            "thread-ordered layout is identical"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl Strategy {
         match self {
             Self::Scalar => "scalar",
             Self::Swwcb { non_temporal: true } => "swwcb+nt",
-            Self::Swwcb { non_temporal: false } => "swwcb",
+            Self::Swwcb {
+                non_temporal: false,
+            } => "swwcb",
             Self::TwoPass { .. } => "two-pass",
         }
     }

@@ -222,7 +222,8 @@ mod buffer_depth_tests {
             let mut rel = PartitionedRelation::<Tuple8>::with_histogram(&hist, false);
             {
                 let w = SharedWriter::new(&mut rel);
-                let mut wc = Swwcb::with_buffer_lines(bases.clone(), lines % 2 == 0, lines);
+                let mut wc =
+                    Swwcb::with_buffer_lines(bases.clone(), lines.is_multiple_of(2), lines);
                 for &t in &tuples {
                     // SAFETY: single-threaded, exact extents.
                     unsafe { wc.push(f.partition_of(t.key), t, &w) };

@@ -16,9 +16,7 @@
 //! Probe relations reference build keys: [`foreign_keys`] samples them
 //! uniformly, [`zipf_foreign_keys`] with Zipf skew (Section 5.4).
 
-use fpart_types::Key;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fpart_types::{Key, SplitMix64};
 
 use crate::permute::FeistelPermutation;
 use crate::zipf::ZipfSampler;
@@ -76,7 +74,9 @@ impl KeyDistribution {
                     K::BITS
                 );
                 let perm = FeistelPermutation::new(domain, seed);
-                (0..n as u64).map(|i| K::from_u64(perm.permute(i))).collect()
+                (0..n as u64)
+                    .map(|i| K::from_u64(perm.permute(i)))
+                    .collect()
             }
             Self::Grid => grid_keys::<K>(n, false),
             Self::ReverseGrid => grid_keys::<K>(n, true),
@@ -118,10 +118,8 @@ fn grid_keys<K: Key>(n: usize, reverse: bool) -> Vec<K> {
 /// foreign-key pattern of workloads A–E.
 pub fn foreign_keys<K: Key>(r_keys: &[K], n: usize, seed: u64) -> Vec<K> {
     assert!(!r_keys.is_empty(), "build side must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| r_keys[rng.random_range(0..r_keys.len())])
-        .collect()
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    (0..n).map(|_| r_keys[rng.index(r_keys.len())]).collect()
 }
 
 /// Sample `n` probe-side keys from the build keys with Zipf skew: rank 1 is
@@ -129,7 +127,7 @@ pub fn foreign_keys<K: Key>(r_keys: &[K], n: usize, seed: u64) -> Vec<K> {
 pub fn zipf_foreign_keys<K: Key>(r_keys: &[K], n: usize, factor: f64, seed: u64) -> Vec<K> {
     assert!(!r_keys.is_empty(), "build side must be non-empty");
     let sampler = ZipfSampler::new(r_keys.len() as u64, factor);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..n)
         .map(|_| r_keys[(sampler.sample(&mut rng) - 1) as usize])
         .collect()

@@ -38,10 +38,25 @@ impl WorkloadId {
     /// The workload's Table 4 definition.
     pub fn spec(self) -> Workload {
         match self {
-            Self::A => Workload::new("Workload A", 128_000_000, 128_000_000, KeyDistribution::Linear),
+            Self::A => Workload::new(
+                "Workload A",
+                128_000_000,
+                128_000_000,
+                KeyDistribution::Linear,
+            ),
             Self::B => Workload::new("Workload B", 16 << 20, 256 << 20, KeyDistribution::Linear),
-            Self::C => Workload::new("Workload C", 128_000_000, 128_000_000, KeyDistribution::Random),
-            Self::D => Workload::new("Workload D", 128_000_000, 128_000_000, KeyDistribution::Grid),
+            Self::C => Workload::new(
+                "Workload C",
+                128_000_000,
+                128_000_000,
+                KeyDistribution::Random,
+            ),
+            Self::D => Workload::new(
+                "Workload D",
+                128_000_000,
+                128_000_000,
+                KeyDistribution::Grid,
+            ),
             Self::E => Workload::new(
                 "Workload E",
                 128_000_000,

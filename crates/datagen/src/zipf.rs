@@ -7,7 +7,7 @@
 //! of Hörmann & Derflinger ("Rejection-inversion to sample from power-law
 //! distributions"), which is `O(1)` per sample and exact.
 
-use rand::Rng;
+use fpart_types::SplitMix64;
 
 /// Samples ranks `1..=n` with probability proportional to `rank^-s`.
 ///
@@ -18,11 +18,11 @@ use rand::Rng;
 ///
 /// ```
 /// use fpart_datagen::zipf::ZipfSampler;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use fpart_types::SplitMix64;
 ///
 /// // A heavily skewed distribution over 128M ranks — no CDF table needed.
 /// let sampler = ZipfSampler::new(128_000_000, 1.5);
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = SplitMix64::seed_from_u64(7);
 /// let rank = sampler.sample(&mut rng);
 /// assert!((1..=128_000_000).contains(&rank));
 /// ```
@@ -68,17 +68,15 @@ impl ZipfSampler {
     }
 
     /// Draw one rank in `1..=n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
         loop {
-            let u: f64 = rng.random::<f64>();
+            let u: f64 = rng.next_f64();
             let u = self.h_integral_n + u * (self.h_integral_x1 - self.h_integral_n);
             let x = h_integral_inverse(u, self.s);
             let k = x.round().clamp(1.0, self.n as f64);
             // Accept immediately in the flat left region, otherwise run the
             // exact rejection test against the hat function.
-            if (k - x).abs() <= self.threshold
-                || u >= h_integral(k + 0.5, self.s) - h(k, self.s)
-            {
+            if (k - x).abs() <= self.threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
                 return k as u64;
             }
         }
@@ -128,12 +126,10 @@ fn helper2(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn frequencies(n: u64, s: f64, draws: usize) -> Vec<f64> {
         let sampler = ZipfSampler::new(n, s);
-        let mut rng = StdRng::seed_from_u64(12345);
+        let mut rng = SplitMix64::seed_from_u64(12345);
         let mut counts = vec![0usize; n as usize];
         for _ in 0..draws {
             let k = sampler.sample(&mut rng);
@@ -177,11 +173,9 @@ mod tests {
     fn skew_concentrates_head() {
         let head_share = |s: f64| {
             let sampler = ZipfSampler::new(1 << 30, s);
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = SplitMix64::seed_from_u64(7);
             let draws = 50_000;
-            let hits = (0..draws)
-                .filter(|_| sampler.sample(&mut rng) == 1)
-                .count();
+            let hits = (0..draws).filter(|_| sampler.sample(&mut rng) == 1).count();
             hits as f64 / draws as f64
         };
         let lo = head_share(0.25);
@@ -192,7 +186,7 @@ mod tests {
     #[test]
     fn single_element_domain() {
         let sampler = ZipfSampler::new(1, 1.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         for _ in 0..100 {
             assert_eq!(sampler.sample(&mut rng), 1);
         }

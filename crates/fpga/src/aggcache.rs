@@ -51,7 +51,10 @@ pub struct AggregatingCache<K: Key> {
 impl<K: Key> AggregatingCache<K> {
     /// A cache of `2^bits` entries.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=20).contains(&bits), "cache bits in 1..=20 (BRAM budget)");
+        assert!(
+            (1..=20).contains(&bits),
+            "cache bits in 1..=20 (BRAM budget)"
+        );
         Self {
             slots: vec![None; 1 << bits],
             mask: (1u64 << bits) - 1,
@@ -209,8 +212,9 @@ pub fn fpga_group_by<T: Tuple>(
 ) -> Result<(Vec<AggEntry<T::K>>, AggReport)> {
     let clock_hz = qpi.clock_hz;
     let mut qpi = QpiEndpoint::new(qpi);
-    let mut caches: Vec<AggregatingCache<T::K>> =
-        (0..T::LANES).map(|_| AggregatingCache::new(cache_bits)).collect();
+    let mut caches: Vec<AggregatingCache<T::K>> = (0..T::LANES)
+        .map(|_| AggregatingCache::new(cache_bits))
+        .collect();
     let mut victims: Vec<AggEntry<T::K>> = Vec::new();
     let mut cycles = 0u64;
 

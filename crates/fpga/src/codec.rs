@@ -140,7 +140,10 @@ mod tests {
     fn run_cap_is_respected() {
         let keys = vec![7u32; 100];
         let col = RleColumn::encode(&keys);
-        assert!(col.runs().iter().all(|&(_, len)| (1..=MAX_RUN).contains(&len)));
+        assert!(col
+            .runs()
+            .iter()
+            .all(|&(_, len)| (1..=MAX_RUN).contains(&len)));
         assert_eq!(col.runs().len(), 13); // ⌈100/8⌉
     }
 }

@@ -167,8 +167,7 @@ impl PartitionerConfig {
             // smaller FIFO could never accept a tuple and the pipeline
             // would deadlock.
             return Err(FpartError::InvalidConfig(
-                "combiner output FIFOs need at least 4 slots (the can_accept reservation)"
-                    .into(),
+                "combiner output FIFOs need at least 4 slots (the can_accept reservation)".into(),
             ));
         }
         Ok(())
@@ -228,6 +227,9 @@ mod tests {
 
         let mut cfg = PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid);
         cfg.out_fifo_capacity = 3;
-        assert!(cfg.validate().is_err(), "3 slots can never satisfy can_accept");
+        assert!(
+            cfg.validate().is_err(),
+            "3 slots can never satisfy can_accept"
+        );
     }
 }

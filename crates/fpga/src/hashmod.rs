@@ -165,7 +165,11 @@ mod tests {
         assert_eq!(pipe.latency(), 5);
         let mut out = None;
         for c in 0..6 {
-            out = pipe.clock(if c == 0 { Some(Tuple8::new(0xab, 0)) } else { None });
+            out = pipe.clock(if c == 0 {
+                Some(Tuple8::new(0xab, 0))
+            } else {
+                None
+            });
         }
         assert_eq!(out.unwrap().hash, 0xb);
     }

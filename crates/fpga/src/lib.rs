@@ -39,12 +39,12 @@ pub mod hashmod;
 pub mod partitioner;
 pub mod resources;
 pub mod selector;
-pub mod writecomb;
 pub mod writeback;
+pub mod writecomb;
 
+pub use aggcache::{fpga_group_by, fpga_group_by_harp, AggEntry, AggregatingCache};
+pub use codec::RleColumn;
 pub use config::{InputMode, OutputMode, PaddingSpec, PartitionerConfig};
 pub use partitioner::{FpgaPartitioner, RunReport};
 pub use resources::ResourceUsage;
-pub use aggcache::{fpga_group_by, fpga_group_by_harp, AggEntry, AggregatingCache};
-pub use codec::RleColumn;
 pub use selector::{FpgaSelector, Predicate, SelectReport};

@@ -19,7 +19,10 @@
 //! the test-suite asserts — the paper's headline "fully pipelined, no
 //! internal stalls" property.
 
-use fpart_hwsim::{Fifo, PageAllocator, PageTable, QpiConfig, QpiEndpoint, QpiStats};
+use fpart_hwsim::{
+    BramKind, FaultInjector, FaultPlan, Fifo, PageAllocator, PageTable, PassId, QpiConfig,
+    QpiEndpoint, QpiStats,
+};
 use fpart_types::{
     ColumnRelation, FpartError, Line, PartitionedRelation, Relation, Result, Tuple,
     CACHE_LINE_BYTES,
@@ -27,8 +30,8 @@ use fpart_types::{
 
 use crate::config::{InputMode, OutputMode, PartitionerConfig};
 use crate::hashmod::HashPipeline;
-use crate::writecomb::{CombinedLine, WriteCombiner};
 use crate::writeback::{AddressedLine, PartitionExtents, WriteBack};
+use crate::writecomb::{CombinedLine, WriteCombiner};
 
 /// The simulated FPGA partitioner.
 ///
@@ -57,6 +60,7 @@ use crate::writeback::{AddressedLine, PartitionExtents, WriteBack};
 pub struct FpgaPartitioner {
     config: PartitionerConfig,
     qpi: QpiConfig,
+    faults: Option<FaultInjector>,
 }
 
 /// Everything a partitioning run reports: cycle counts per phase, derived
@@ -83,6 +87,10 @@ pub struct RunReport {
     pub forward_hits: (u64, u64),
     /// Page-table translations performed.
     pub translations: u64,
+    /// Page-table entry re-reads absorbed by transient lookup faults
+    /// (non-zero only under fault injection; the retries are internal and
+    /// never surface as errors).
+    pub pt_retries: u64,
     /// Periodic samples of the scatter pass: `(cycle, lines_read,
     /// lines_written)` every [`TIMELINE_INTERVAL`] cycles — lets callers
     /// plot link utilisation over the run (warm-up, steady state, flush).
@@ -137,6 +145,7 @@ impl FpgaPartitioner {
         Self {
             config,
             qpi: QpiConfig::harp(curve),
+            faults: None,
         }
     }
 
@@ -144,12 +153,41 @@ impl FpgaPartitioner {
     /// wrapper of Section 4.7, or [`QpiConfig::unlimited`] for stall-free
     /// verification.
     pub fn with_qpi(config: PartitionerConfig, qpi: QpiConfig) -> Self {
-        Self { config, qpi }
+        Self {
+            config,
+            qpi,
+            faults: None,
+        }
+    }
+
+    /// Arm a fault plan (builder style): every subsequent run injects the
+    /// plan's faults at their scheduled points. An empty plan disarms.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Arm or disarm a fault plan on this partitioner.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
     }
 
     /// The configuration.
     pub fn config(&self) -> &PartitionerConfig {
         &self.config
+    }
+
+    /// A clone of this partitioner with a different output mode — the QPI
+    /// model and any armed fault plan carry over. Escalation chains use
+    /// this to retry an aborted PAD run in HIST mode (Section 5.4).
+    pub fn with_output_mode(&self, output: OutputMode) -> Self {
+        let mut p = self.clone();
+        p.config.output = output;
+        p
     }
 
     /// Partition a row-store relation (RID mode).
@@ -197,8 +235,7 @@ impl FpgaPartitioner {
         self.config.validate()?;
         if self.config.input != InputMode::Vrid {
             return Err(FpartError::InvalidConfig(
-                "partition_rle() requires VRID input mode (it emits key+position tuples)"
-                    .into(),
+                "partition_rle() requires VRID input mode (it emits key+position tuples)".into(),
             ));
         }
         let runs = column.runs();
@@ -230,7 +267,8 @@ impl FpgaPartitioner {
     pub fn histogram_only<T: Tuple>(&self, rel: &Relation<T>) -> Result<(Vec<u64>, u64)> {
         self.config.validate()?;
         let input = InputData::<T>::Rows(rel.tuples());
-        let pass = HistogramPass::run::<T>(&self.config, self.qpi.clone(), &input);
+        let pass =
+            HistogramPass::run::<T>(&self.config, self.qpi.clone(), &input, self.faults.as_ref())?;
         let parts = self.config.partitions();
         let hist = (0..parts)
             .map(|p| pass.lane_hists.iter().map(|h| h[p]).sum())
@@ -238,17 +276,28 @@ impl FpgaPartitioner {
         Ok((hist, pass.cycles))
     }
 
-    fn run<T: Tuple>(&self, input: InputData<'_, T>) -> Result<(PartitionedRelation<T>, RunReport)> {
+    fn run<T: Tuple>(
+        &self,
+        input: InputData<'_, T>,
+    ) -> Result<(PartitionedRelation<T>, RunReport)> {
         let parts = self.config.partitions();
         let n = input.tuple_count();
 
         // Page table covering input + output virtual regions.
         let mut pagetable = build_pagetable::<T>(&input, parts, n, &self.config.output)?;
+        if let Some(inj) = &self.faults {
+            pagetable.inject_transients(inj.pagetable_schedule());
+        }
 
         // Phase 1 (HIST only): build per-lane histograms.
         let (extents, hist_cycles, hist_stats, valid_hint) = match self.config.output {
             OutputMode::Hist => {
-                let pass = HistogramPass::run::<T>(&self.config, self.qpi.clone(), &input);
+                let pass = HistogramPass::run::<T>(
+                    &self.config,
+                    self.qpi.clone(),
+                    &input,
+                    self.faults.as_ref(),
+                )?;
                 let valid: Vec<usize> = (0..parts)
                     .map(|p| pass.lane_hists.iter().map(|h| h[p] as usize).sum())
                     .collect();
@@ -292,14 +341,12 @@ impl FpgaPartitioner {
             QpiEndpoint::new(self.qpi.clone()),
             extents,
             &input,
+            self.faults.as_ref(),
         );
         let scatter = engine.run(&mut out, &mut pagetable)?;
 
         let mut qpi = scatter.qpi_stats;
-        qpi.lines_read += hist_stats.lines_read;
-        qpi.lines_written += hist_stats.lines_written;
-        qpi.read_stall_cycles += hist_stats.read_stall_cycles;
-        qpi.write_stall_cycles += hist_stats.write_stall_cycles;
+        qpi.accumulate(&hist_stats);
 
         let report = RunReport {
             mode: self.config.mode_label(),
@@ -312,6 +359,7 @@ impl FpgaPartitioner {
             lane_fifo_high_water: scatter.lane_fifo_high_water,
             forward_hits: scatter.forward_hits,
             translations: pagetable.translations(),
+            pt_retries: pagetable.retries_total(),
             timeline: scatter.timeline,
             endpoint_cache: scatter.endpoint_cache,
         };
@@ -403,9 +451,7 @@ impl<T: Tuple> InputData<'_, T> {
                 }
             }
             Self::RleKeys {
-                runs,
-                line_offsets,
-                ..
+                runs, line_offsets, ..
             } => {
                 let rpl = runs_per_line::<T::K>();
                 let start = idx * rpl;
@@ -467,15 +513,26 @@ impl HistogramPass {
     /// through the hash pipelines. No data is written back (Section 4.5:
     /// "During the first pass, no data is written back, and the histogram
     /// is built using an internal BRAM").
+    ///
+    /// # Errors
+    /// Under fault injection: [`FpartError::LinkRetryExhausted`] when a
+    /// scheduled QPI burst outlasts the replay budget, and
+    /// [`FpartError::BramSoftError`] when a histogram-BRAM soft error is
+    /// detected as the pass reads the counts back out.
     fn run<T: Tuple>(
         cfg: &PartitionerConfig,
         qpi_cfg: QpiConfig,
         input: &InputData<'_, T>,
-    ) -> Self {
+        injector: Option<&FaultInjector>,
+    ) -> Result<Self> {
         let parts = cfg.partitions();
         let mut qpi = QpiEndpoint::new(qpi_cfg);
-        let mut pipes: Vec<HashPipeline<T>> =
-            (0..T::LANES).map(|_| HashPipeline::new(cfg.partition_fn)).collect();
+        if let Some(inj) = injector {
+            qpi.inject_faults(inj.qpi_schedule(PassId::Histogram));
+        }
+        let mut pipes: Vec<HashPipeline<T>> = (0..T::LANES)
+            .map(|_| HashPipeline::new(cfg.partition_fn))
+            .collect();
         let mut lane_hists = vec![vec![0u64; parts]; T::LANES];
 
         let total_lines = input.input_lines();
@@ -496,6 +553,9 @@ impl HistogramPass {
             }
             cycles += 1;
             qpi.tick();
+            if let Some(err) = qpi.hard_fault() {
+                return Err(err);
+            }
 
             // Deliver one tuple line into the hash pipes.
             let line = pending.pop_front();
@@ -523,12 +583,24 @@ impl HistogramPass {
             }
         }
 
-        Self {
+        // The histogram BRAM is read back out at the end of the pass (to
+        // compute the prefix sums); a scheduled soft error surfaces as a
+        // parity hit here. Addresses are taken modulo the BRAM size.
+        if let Some(inj) = injector {
+            if let Some(&addr) = inj.bram_flips(BramKind::Histogram).first() {
+                return Err(FpartError::BramSoftError {
+                    bram: "histogram",
+                    addr: addr % parts.max(1),
+                });
+            }
+        }
+
+        Ok(Self {
             lane_hists,
             cycles,
             qpi_stats: qpi.stats(),
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 }
 
@@ -565,19 +637,41 @@ struct ScatterEngine<'a, T: Tuple> {
 impl<'a, T: Tuple> ScatterEngine<'a, T> {
     fn new(
         cfg: &'a PartitionerConfig,
-        qpi: QpiEndpoint,
+        mut qpi: QpiEndpoint,
         extents: PartitionExtents,
         input: &'a InputData<'a, T>,
+        injector: Option<&FaultInjector>,
     ) -> Self {
         let pad_mode = matches!(cfg.output, OutputMode::Pad { .. });
+        let parts = cfg.partitions();
+        let mut writeback = WriteBack::new(extents, T::LANES, pad_mode);
+        if let Some(inj) = injector {
+            qpi.inject_faults(inj.qpi_schedule(PassId::Scatter));
+            for addr in inj.bram_flips(BramKind::FillRate) {
+                writeback.inject_parity_error(addr % parts.max(1));
+            }
+            if pad_mode {
+                if let Some(at) = inj.pad_overflow_at() {
+                    writeback.force_overflow_at(at);
+                }
+            }
+        }
         Self {
             cfg,
             qpi,
-            pipes: (0..T::LANES).map(|_| HashPipeline::new(cfg.partition_fn)).collect(),
-            lane_fifos: (0..T::LANES).map(|_| Fifo::new(cfg.fifo_capacity)).collect(),
-            combiners: (0..T::LANES).map(|_| WriteCombiner::new(cfg.partitions())).collect(),
-            out_fifos: (0..T::LANES).map(|_| Fifo::new(cfg.out_fifo_capacity)).collect(),
-            writeback: WriteBack::new(extents, T::LANES, pad_mode),
+            pipes: (0..T::LANES)
+                .map(|_| HashPipeline::new(cfg.partition_fn))
+                .collect(),
+            lane_fifos: (0..T::LANES)
+                .map(|_| Fifo::new(cfg.fifo_capacity))
+                .collect(),
+            combiners: (0..T::LANES)
+                .map(|_| WriteCombiner::new(cfg.partitions()))
+                .collect(),
+            out_fifos: (0..T::LANES)
+                .map(|_| Fifo::new(cfg.out_fifo_capacity))
+                .collect(),
+            writeback,
             wb_fifo: Fifo::new(8),
             out_base_line: input.input_lines() as u64,
             input,
@@ -604,6 +698,9 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
         loop {
             cycles += 1;
             self.qpi.tick();
+            if let Some(err) = self.qpi.hard_fault() {
+                return Err(err);
+            }
             if cycles.is_multiple_of(TIMELINE_INTERVAL) {
                 let s = self.qpi.stats();
                 timeline.push((cycles, s.lines_read, s.lines_written));
@@ -648,7 +745,11 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             for lane in 0..T::LANES {
                 let free = self.out_fifos[lane].free_slots();
                 let can = self.combiners[lane].can_accept(free);
-                let input = if can { self.lane_fifos[lane].pop() } else { None };
+                let input = if can {
+                    self.lane_fifos[lane].pop()
+                } else {
+                    None
+                };
                 if input.is_some() {
                     self.writeback.note_consumed(1);
                 }
@@ -680,7 +781,12 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             // (6) Read requests, throttled by first-stage FIFO occupancy
             // (Section 4.3).
             let fifo_occupancy = self.lane_fifos.iter().map(Fifo::len).max().unwrap_or(0);
-            let pipe_occupancy = self.pipes.iter().map(HashPipeline::occupancy).max().unwrap_or(0);
+            let pipe_occupancy = self
+                .pipes
+                .iter()
+                .map(HashPipeline::occupancy)
+                .max()
+                .unwrap_or(0);
             let committed = pending.len()
                 + self.qpi.reads_in_flight() * expansion
                 + pipe_occupancy
@@ -713,7 +819,10 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             }
 
             if flushing
-                && self.combiners.iter().all(|c| c.flush_done() && c.in_flight() == 0)
+                && self
+                    .combiners
+                    .iter()
+                    .all(|c| c.flush_done() && c.in_flight() == 0)
                 && self.out_fifos.iter().all(Fifo::is_empty)
                 && self.writeback.in_flight() == 0
                 && self.wb_fifo.is_empty()
@@ -737,11 +846,7 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             );
         }
 
-        let padding_slots = self
-            .combiners
-            .iter()
-            .map(|c| c.stats().flush_dummies)
-            .sum();
+        let padding_slots = self.combiners.iter().map(|c| c.stats().flush_dummies).sum();
         let forward_hits = self.combiners.iter().fold((0, 0), |acc, c| {
             let s = c.stats();
             (acc.0 + s.forward_1d_hits, acc.1 + s.forward_2d_hits)
@@ -751,7 +856,12 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             cycles,
             qpi_stats: self.qpi.stats(),
             padding_slots,
-            lane_fifo_high_water: self.lane_fifos.iter().map(Fifo::high_water).max().unwrap_or(0),
+            lane_fifo_high_water: self
+                .lane_fifos
+                .iter()
+                .map(Fifo::high_water)
+                .max()
+                .unwrap_or(0),
             forward_hits,
             timeline,
             endpoint_cache: (self.endpoint_cache.hits(), self.endpoint_cache.misses()),
@@ -1004,6 +1114,132 @@ mod tests {
         let p = FpgaPartitioner::new(cfg);
         let (out, _) = p.partition(&r).unwrap();
         assert_correct_partitioning(r.tuples(), &out, f);
+    }
+
+    #[test]
+    fn qpi_transients_slow_but_do_not_corrupt() {
+        use fpart_hwsim::{Fault, FaultPlan};
+        let r = rel(4096);
+        let cfg = config(4, OutputMode::Hist, InputMode::Rid);
+        let f = cfg.partition_fn;
+        let clean = FpgaPartitioner::with_qpi(cfg.clone(), QpiConfig::unlimited(200e6));
+        let (out_clean, rep_clean) = clean.partition(&r).unwrap();
+
+        let plan = FaultPlan::new()
+            .with(Fault::QpiTransient {
+                pass: fpart_hwsim::PassId::Histogram,
+                op_index: 10,
+                burst: 3,
+            })
+            .with(Fault::QpiTransient {
+                pass: fpart_hwsim::PassId::Scatter,
+                op_index: 100,
+                burst: 2,
+            })
+            .with(Fault::PageTableTransient {
+                translation_index: 5,
+                retries: 2,
+            });
+        let faulty = FpgaPartitioner::with_qpi(cfg, QpiConfig::unlimited(200e6)).with_faults(plan);
+        let (out_faulty, rep_faulty) = faulty.partition(&r).unwrap();
+
+        assert_correct_partitioning(r.tuples(), &out_faulty, f);
+        assert_eq!(
+            content_checksum(out_clean.all_tuples()),
+            content_checksum(out_faulty.all_tuples()),
+            "replayed transients never corrupt data"
+        );
+        assert_eq!(rep_faulty.qpi.link_errors, 2);
+        assert_eq!(rep_faulty.qpi.link_replays, 5);
+        assert!(rep_faulty.qpi.replay_stall_cycles > 0);
+        assert!(
+            rep_faulty.total_cycles() > rep_clean.total_cycles(),
+            "replays cost cycles"
+        );
+        assert_eq!(rep_faulty.pt_retries, 2);
+        assert_eq!(rep_clean.pt_retries, 0);
+    }
+
+    #[test]
+    fn fatal_qpi_burst_surfaces_link_retry_exhausted() {
+        use fpart_hwsim::{Fault, FaultPlan};
+        let r = rel(2048);
+        let cfg = config(4, OutputMode::pad_default(), InputMode::Rid);
+        let plan = FaultPlan::new().with(Fault::QpiTransient {
+            pass: fpart_hwsim::PassId::Scatter,
+            op_index: 50,
+            burst: 1000,
+        });
+        let p = FpgaPartitioner::new(cfg).with_faults(plan);
+        let err = p.partition(&r).unwrap_err();
+        assert!(
+            matches!(err, FpartError::LinkRetryExhausted { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn bram_soft_errors_surface_per_pass() {
+        use fpart_hwsim::{BramKind, Fault, FaultPlan};
+        let r = rel(2048);
+        // Histogram BRAM flip aborts the HIST first pass.
+        let cfg = config(4, OutputMode::Hist, InputMode::Rid);
+        let plan = FaultPlan::new().with(Fault::BramFlip {
+            bram: BramKind::Histogram,
+            addr: 3,
+        });
+        let err = FpgaPartitioner::new(cfg)
+            .with_faults(plan)
+            .partition(&r)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FpartError::BramSoftError {
+                bram: "histogram",
+                addr: 3
+            }
+        );
+
+        // Fill-rate BRAM flip aborts the scatter pass.
+        let cfg = config(4, OutputMode::pad_default(), InputMode::Rid);
+        let plan = FaultPlan::new().with(Fault::BramFlip {
+            bram: BramKind::FillRate,
+            addr: 19, // modulo 16 partitions → address 3
+        });
+        let err = FpgaPartitioner::new(cfg)
+            .with_faults(plan)
+            .partition(&r)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FpartError::BramSoftError {
+                bram: "fill-rate",
+                addr: 3
+            }
+        );
+    }
+
+    #[test]
+    fn injected_pad_overflow_reports_chosen_point() {
+        use fpart_hwsim::{Fault, FaultPlan};
+        let r = rel(4096);
+        let cfg = config(4, OutputMode::pad_default(), InputMode::Rid);
+        let plan = FaultPlan::new().with(Fault::PadOverflow { consumed: 2048 });
+        let p = FpgaPartitioner::new(cfg.clone()).with_faults(plan.clone());
+        let err = p.partition(&r).unwrap_err();
+        match err.clone() {
+            FpartError::PartitionOverflow { consumed, .. } => {
+                assert!(
+                    consumed >= 2048,
+                    "fires at the chosen point, got {consumed}"
+                );
+                assert!(consumed < 2048 + 64, "not much later either");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Same plan, same input → identical abort, cycle for cycle.
+        let again = FpgaPartitioner::new(cfg).with_faults(plan);
+        assert_eq!(again.partition(&r).unwrap_err(), err);
     }
 
     #[test]

@@ -95,7 +95,10 @@ mod tests {
         let r8 = ResourceUsage::table2(8);
         assert_eq!((r8.logic_pct, r8.bram_pct, r8.dsp_pct), (37.0, 76.0, 14.0));
         let r64 = ResourceUsage::table2(64);
-        assert_eq!((r64.logic_pct, r64.bram_pct, r64.dsp_pct), (27.0, 15.0, 6.0));
+        assert_eq!(
+            (r64.logic_pct, r64.bram_pct, r64.dsp_pct),
+            (27.0, 15.0, 6.0)
+        );
     }
 
     #[test]
@@ -103,9 +106,7 @@ mod tests {
         // "we can observe how the resource usage drops with wider tuples"
         let widths = [8, 16, 32, 64];
         for w in widths.windows(2) {
-            assert!(
-                ResourceUsage::table2(w[0]).bram_pct > ResourceUsage::table2(w[1]).bram_pct
-            );
+            assert!(ResourceUsage::table2(w[0]).bram_pct > ResourceUsage::table2(w[1]).bram_pct);
         }
     }
 

@@ -237,7 +237,9 @@ mod tests {
         let keys: Vec<u32> = sel.tuples().iter().map(|t| t.key).collect();
         assert_eq!(keys, vec![5, 7, 5, 2]);
 
-        let (sel, rep) = FpgaSelector::new().select(&r, Predicate::Equals(5)).unwrap();
+        let (sel, rep) = FpgaSelector::new()
+            .select(&r, Predicate::Equals(5))
+            .unwrap();
         assert_eq!(sel.len(), 2);
         assert_eq!(rep.selected, 2);
     }

@@ -42,10 +42,7 @@ impl PartitionExtents {
         let mut capacity_lines = Vec::with_capacity(parts);
         let mut acc = 0u64;
         for p in 0..parts {
-            let lines: u64 = lane_hists
-                .iter()
-                .map(|h| h[p].div_ceil(lanes as u64))
-                .sum();
+            let lines: u64 = lane_hists.iter().map(|h| h[p].div_ceil(lanes as u64)).sum();
             base_lines.push(acc);
             capacity_lines.push(lines);
             acc += lines;
@@ -67,8 +64,7 @@ impl PartitionExtents {
 
     /// Total allocated lines.
     pub fn total_lines(&self) -> u64 {
-        self.base_lines.last().map_or(0, |&b| b)
-            + self.capacity_lines.last().copied().unwrap_or(0)
+        self.base_lines.last().map_or(0, |&b| b) + self.capacity_lines.last().copied().unwrap_or(0)
     }
 }
 
@@ -98,6 +94,11 @@ pub struct WriteBack<T: Tuple> {
     /// Tuples consumed so far (for overflow reports).
     tuples_consumed: u64,
     lines_emitted: u64,
+    /// Fault injection: force a PAD overflow once `tuples_consumed`
+    /// reaches this threshold (simulates skew the capacity planner
+    /// missed, at a *chosen* detection point — Section 5.4 observes the
+    /// real detection time is random).
+    force_overflow_at: Option<u64>,
 }
 
 impl<T: Tuple> WriteBack<T> {
@@ -119,7 +120,25 @@ impl<T: Tuple> WriteBack<T> {
             pad_mode,
             tuples_consumed: 0,
             lines_emitted: 0,
+            force_overflow_at: None,
         }
+    }
+
+    /// Arm a forced PAD overflow: the first line resolved after
+    /// `consumed` input tuples have been noted aborts with
+    /// [`FpartError::PartitionOverflow`]. Only meaningful in PAD mode.
+    pub fn force_overflow_at(&mut self, consumed: u64) {
+        self.force_overflow_at = Some(consumed);
+    }
+
+    /// Corrupt the fill-rate (count) BRAM at `addr`: the next count read
+    /// of that partition trips the parity checker and the pass aborts
+    /// with [`FpartError::BramSoftError`].
+    ///
+    /// # Panics
+    /// Panics if `addr` is not a valid partition index.
+    pub fn inject_parity_error(&mut self, addr: usize) {
+        self.counts.inject_parity_error(addr);
     }
 
     /// Which combiner FIFO to pop this cycle; the caller advances RR by
@@ -160,6 +179,12 @@ impl<T: Tuple> WriteBack<T> {
                 .data_out()
                 .expect("a staged line always has a count read arriving");
             debug_assert_eq!(read.0, hash);
+            if let Some(addr) = self.counts.parity_error() {
+                return Err(FpartError::BramSoftError {
+                    bram: "fill-rate",
+                    addr,
+                });
+            }
             // Forwarding: a back-to-back line to the same partition beat
             // the BRAM write.
             let count = if self.fwd.valid && self.fwd.hash == hash {
@@ -167,7 +192,11 @@ impl<T: Tuple> WriteBack<T> {
             } else {
                 read.1
             };
-            if count >= self.extents.capacity_lines[hash] {
+            let forced = self.pad_mode
+                && self
+                    .force_overflow_at
+                    .is_some_and(|at| self.tuples_consumed >= at);
+            if forced || count >= self.extents.capacity_lines[hash] {
                 if self.pad_mode {
                     return Err(FpartError::PartitionOverflow {
                         partition: hash,
@@ -207,7 +236,9 @@ mod tests {
     use fpart_types::Tuple8;
 
     fn full_line(key_base: u32) -> Line<Tuple8> {
-        let ts: Vec<Tuple8> = (0..8).map(|i| Tuple8::new(key_base + i, i as u64)).collect();
+        let ts: Vec<Tuple8> = (0..8)
+            .map(|i| Tuple8::new(key_base + i, i as u64))
+            .collect();
         Line::from_slice(&ts)
     }
 
@@ -260,7 +291,11 @@ mod tests {
         )
         .unwrap();
         let addrs: Vec<u64> = out.iter().map(|(_, a, _)| *a).collect();
-        assert_eq!(addrs, vec![8, 9, 10, 11, 12, 13], "distinct consecutive slots");
+        assert_eq!(
+            addrs,
+            vec![8, 9, 10, 11, 12, 13],
+            "distinct consecutive slots"
+        );
     }
 
     #[test]
@@ -287,13 +322,46 @@ mod tests {
     }
 
     #[test]
+    fn forced_overflow_fires_at_threshold() {
+        let mut wb = WriteBack::<Tuple8>::new(PartitionExtents::fixed(2, 100), 8, true);
+        wb.force_overflow_at(16);
+        // Below the threshold: lines flow normally.
+        wb.note_consumed(8);
+        let out = drive(&mut wb, vec![(0, full_line(0))]).unwrap();
+        assert_eq!(out.len(), 1);
+        // At the threshold: the next resolved line aborts even though the
+        // partition is nowhere near its real capacity.
+        wb.note_consumed(8);
+        let err = drive(&mut wb, vec![(1, full_line(8))]).unwrap_err();
+        match err {
+            FpartError::PartitionOverflow { consumed, .. } => assert_eq!(consumed, 16),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fill_rate_parity_error_aborts() {
+        let mut wb = WriteBack::<Tuple8>::new(PartitionExtents::fixed(4, 10), 8, false);
+        wb.inject_parity_error(2);
+        // Partition 1 reads are clean.
+        let out = drive(&mut wb, vec![(1, full_line(0))]).unwrap();
+        assert_eq!(out.len(), 1);
+        // A count read of the poisoned partition trips the checker.
+        let err = drive(&mut wb, vec![(2, full_line(8))]).unwrap_err();
+        assert_eq!(
+            err,
+            FpartError::BramSoftError {
+                bram: "fill-rate",
+                addr: 2
+            }
+        );
+    }
+
+    #[test]
     fn lane_histogram_extents() {
         // 2 lanes, 3 partitions; lane 0 has [3, 0, 8], lane 1 has [1, 1, 9]
         // tuples; LANES = 8 ⇒ lines = [1+1, 0+1, 1+2] = [2, 1, 3].
-        let ext = PartitionExtents::from_lane_histograms(
-            &[vec![3, 0, 8], vec![1, 1, 9]],
-            8,
-        );
+        let ext = PartitionExtents::from_lane_histograms(&[vec![3, 0, 8], vec![1, 1, 9]], 8);
         assert_eq!(ext.capacity_lines, vec![2, 1, 3]);
         assert_eq!(ext.base_lines, vec![0, 2, 3]);
         assert_eq!(ext.total_lines(), 6);

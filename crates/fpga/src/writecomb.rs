@@ -167,8 +167,16 @@ impl<T: Tuple> WriteCombiner<T> {
     /// during the flush the scan pauses while the output is blocked (the
     /// flush has no stall-freedom claim — it is a drain state machine).
     /// Returns the combined line leaving the output register, if any.
-    pub fn clock(&mut self, input: Option<HashedTuple<T>>, out_ready: bool) -> Option<CombinedLine<T>> {
-        let output = if out_ready { self.pending_out.take() } else { None };
+    pub fn clock(
+        &mut self,
+        input: Option<HashedTuple<T>>,
+        out_ready: bool,
+    ) -> Option<CombinedLine<T>> {
+        let output = if out_ready {
+            self.pending_out.take()
+        } else {
+            None
+        };
 
         if let Some(pos) = self.flush_pos {
             if self.pending_out.is_none() {
@@ -207,8 +215,7 @@ impl<T: Tuple> WriteCombiner<T> {
             .expect("a resolving tuple always has a fill-rate read arriving");
         debug_assert_eq!(fill_read.0, ht.hash, "read address mismatch");
 
-        let which: u8 = if self.forwarding_enabled && self.fwd1.valid && ht.hash == self.fwd1.hash
-        {
+        let which: u8 = if self.forwarding_enabled && self.fwd1.valid && ht.hash == self.fwd1.hash {
             // Code 4 line 7 — 3-bit increment wraps at LANES.
             self.stats.forward_1d_hits += 1;
             (self.fwd1.which + 1) % T::LANES as u8

@@ -132,10 +132,14 @@ fn rle_partitioning_matches_plain_vrid() {
     // Same partitions, same (key, position) contents.
     assert_eq!(rle_parts.histogram(), vrid_parts.histogram());
     for part in 0..rle_parts.num_partitions() {
-        let mut a: Vec<(u32, u32)> =
-            rle_parts.partition_tuples(part).map(|t| (t.key, t.payload)).collect();
-        let mut b: Vec<(u32, u32)> =
-            vrid_parts.partition_tuples(part).map(|t| (t.key, t.payload)).collect();
+        let mut a: Vec<(u32, u32)> = rle_parts
+            .partition_tuples(part)
+            .map(|t| (t.key, t.payload))
+            .collect();
+        let mut b: Vec<(u32, u32)> = vrid_parts
+            .partition_tuples(part)
+            .map(|t| (t.key, t.payload))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "partition {part}");

@@ -25,6 +25,11 @@ pub struct Bram<T: Copy> {
     in_flight: VecDeque<(u32, usize, T)>,
     reads_issued: u64,
     writes_done: u64,
+    /// Addresses whose stored value a soft error corrupted; the parity
+    /// checker on the read port reports the first one read.
+    poisoned: Vec<usize>,
+    /// Sticky: first poisoned address observed by a completed read.
+    parity_hit: Option<usize>,
 }
 
 impl<T: Copy> Bram<T> {
@@ -43,7 +48,30 @@ impl<T: Copy> Bram<T> {
             in_flight: VecDeque::new(),
             reads_issued: 0,
             writes_done: 0,
+            poisoned: Vec::new(),
+            parity_hit: None,
         }
+    }
+
+    /// Flip a stored bit at `addr` (simulated soft error). The data keeps
+    /// flowing — BRAMs here carry parity, not ECC — but the next read of
+    /// the address trips the parity checker, observable via
+    /// [`Bram::parity_error`].
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range.
+    pub fn inject_parity_error(&mut self, addr: usize) {
+        assert!(addr < self.cells.len(), "poisoned address out of range");
+        if !self.poisoned.contains(&addr) {
+            self.poisoned.push(addr);
+        }
+    }
+
+    /// The first corrupted address a completed read touched, if any
+    /// (sticky — a parity error is a hard abort for the consuming
+    /// circuit, not a transient).
+    pub fn parity_error(&self) -> Option<usize> {
+        self.parity_hit
     }
 
     /// Number of cells.
@@ -96,6 +124,9 @@ impl<T: Copy> Bram<T> {
         match self.in_flight.front() {
             Some(&(0, addr, data)) => {
                 self.in_flight.pop_front();
+                if self.parity_hit.is_none() && self.poisoned.contains(&addr) {
+                    self.parity_hit = Some(addr);
+                }
                 Some((addr, data))
             }
             _ => None,
@@ -207,5 +238,33 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn zero_latency_rejected() {
         let _ = Bram::new(4, 0u8, 0);
+    }
+
+    #[test]
+    fn parity_error_detected_on_read() {
+        let mut b = Bram::new(8, 0u32, 1);
+        b.inject_parity_error(3);
+        assert_eq!(b.parity_error(), None, "latent until read");
+        // Reading a clean address does not trip the checker.
+        b.issue_read(2);
+        b.tick();
+        assert!(b.data_out().is_some());
+        assert_eq!(b.parity_error(), None);
+        // Reading the poisoned address does, stickily.
+        b.issue_read(3);
+        b.tick();
+        assert!(b.data_out().is_some(), "data still flows (parity, not ECC)");
+        assert_eq!(b.parity_error(), Some(3));
+        b.issue_read(1);
+        b.tick();
+        let _ = b.data_out();
+        assert_eq!(b.parity_error(), Some(3), "first hit is sticky");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn poison_out_of_range_rejected() {
+        let mut b = Bram::new(4, 0u8, 1);
+        b.inject_parity_error(4);
     }
 }

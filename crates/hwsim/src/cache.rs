@@ -35,7 +35,10 @@ impl SetAssociativeCache {
     pub fn new(capacity_bytes: usize, ways: usize) -> Self {
         assert!(ways > 0, "at least one way");
         let lines = capacity_bytes / CACHE_LINE_BYTES;
-        assert!(lines > 0 && lines.is_multiple_of(ways), "invalid cache geometry");
+        assert!(
+            lines > 0 && lines.is_multiple_of(ways),
+            "invalid cache geometry"
+        );
         let sets = lines / ways;
         Self {
             tags: vec![None; lines],

@@ -19,18 +19,29 @@
 //!   read/write-mix tracking;
 //! * [`PageTable`] / [`PageAllocator`] — the 4 MB-page virtual-memory
 //!   scheme of Section 2.1, including the 2-cycle pipelined translation;
-//! * [`SetAssociativeCache`] — the QPI endpoint's 128 KB two-way cache.
+//! * [`SetAssociativeCache`] — the QPI endpoint's 128 KB two-way cache;
+//! * [`fault`] — a seeded, deterministic fault-injection subsystem
+//!   ([`FaultPlan`] / [`FaultInjector`]) scheduling QPI transient line
+//!   errors (absorbed by link-level replay with a latency penalty),
+//!   page-table lookup transients, BRAM soft-error parity hits and forced
+//!   PAD overflows, so the degradation chain above can be exercised
+//!   reproducibly.
 
 #![warn(missing_docs)]
 
 pub mod bram;
 pub mod cache;
+pub mod fault;
 pub mod fifo;
 pub mod pagetable;
 pub mod qpi;
 
 pub use bram::Bram;
 pub use cache::SetAssociativeCache;
+pub use fault::{
+    BramKind, Fault, FaultInjector, FaultPlan, FaultSpec, PassId, QpiFaultSchedule,
+    DEFAULT_REPLAY_LIMIT, DEFAULT_REPLAY_PENALTY,
+};
 pub use fifo::Fifo;
 pub use pagetable::{PageAllocator, PageTable, PAGE_BYTES, TRANSLATION_LATENCY};
 pub use qpi::{QpiConfig, QpiEndpoint, QpiStats};

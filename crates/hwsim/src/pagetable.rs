@@ -12,6 +12,8 @@
 //! simulated physical space). [`PageTable`] is the FPGA-side BRAM table
 //! the accelerator translates through.
 
+use std::collections::VecDeque;
+
 use fpart_types::{FpartError, Result};
 
 /// Size of one shared-memory page: 4 MB.
@@ -89,6 +91,12 @@ fn scramble(seq: u32, total: u32) -> u32 {
 pub struct PageTable {
     entries: Vec<Option<u32>>,
     translations: u64,
+    /// Scheduled transient lookup faults: (translation index, retries),
+    /// sorted ascending. The table BRAM re-reads the entry and the
+    /// translation succeeds — transparent to the circuit bar the counters.
+    faults: VecDeque<(u64, u32)>,
+    retry_events: u64,
+    retries_total: u64,
 }
 
 impl PageTable {
@@ -97,7 +105,29 @@ impl PageTable {
         Self {
             entries: vec![None; capacity],
             translations: 0,
+            faults: VecDeque::new(),
+            retry_events: 0,
+            retries_total: 0,
         }
+    }
+
+    /// Schedule transient lookup faults as `(translation_index, retries)`
+    /// pairs: the `translation_index`-th successful translation re-reads
+    /// the table entry `retries` times before succeeding. Non-fatal —
+    /// only the retry counters observe it.
+    pub fn inject_transients(&mut self, mut faults: Vec<(u64, u32)>) {
+        faults.sort_unstable_by_key(|&(idx, _)| idx);
+        self.faults = faults.into();
+    }
+
+    /// Translations that hit a transient fault and retried.
+    pub fn retry_events(&self) -> u64 {
+        self.retry_events
+    }
+
+    /// Total entry re-reads performed across all retry events.
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total
     }
 
     /// Populate the table with frames for virtual pages `0..frames.len()`
@@ -129,6 +159,13 @@ impl PageTable {
             .copied()
             .flatten()
             .ok_or(FpartError::PageFault { vaddr })?;
+        if let Some(&(idx, retries)) = self.faults.front() {
+            if idx == self.translations {
+                self.faults.pop_front();
+                self.retry_events += 1;
+                self.retries_total += retries as u64;
+            }
+        }
         self.translations += 1;
         Ok(frame as u64 * PAGE_BYTES + offset)
     }
@@ -212,6 +249,24 @@ mod tests {
                 capacity: 2
             }
         ));
+    }
+
+    #[test]
+    fn transient_faults_retry_and_succeed() {
+        let mut pt = PageTable::new(4);
+        pt.populate(&[5, 6]).unwrap();
+        // Fault translations 1 and 3 (out of order on purpose).
+        pt.inject_transients(vec![(3, 2), (1, 1)]);
+        for _ in 0..5 {
+            assert!(pt.translate(0).is_ok(), "transients are non-fatal");
+        }
+        assert_eq!(pt.translations(), 5);
+        assert_eq!(pt.retry_events(), 2);
+        assert_eq!(pt.retries_total(), 3);
+        // A faulted index past the end never fires.
+        pt.inject_transients(vec![(100, 4)]);
+        assert!(pt.translate(PAGE_BYTES / 2).is_ok());
+        assert_eq!(pt.retry_events(), 2);
     }
 
     #[test]

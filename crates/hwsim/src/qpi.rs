@@ -19,7 +19,9 @@
 use std::collections::VecDeque;
 
 use fpart_memmodel::{BandwidthCurve, RwMix};
-use fpart_types::CACHE_LINE_BYTES;
+use fpart_types::{FpartError, CACHE_LINE_BYTES};
+
+use crate::fault::QpiFaultSchedule;
 
 /// Configuration of a [`QpiEndpoint`].
 #[derive(Debug, Clone)]
@@ -76,6 +78,13 @@ pub struct QpiStats {
     pub read_stall_cycles: u64,
     /// Cycles on which a write was requested but denied for lack of credit.
     pub write_stall_cycles: u64,
+    /// Injected transient line errors the link absorbed (or aborted on).
+    pub link_errors: u64,
+    /// Link-level flit replays performed to absorb transient errors.
+    pub link_replays: u64,
+    /// Cycles on which an access was denied because the link was busy
+    /// replaying a faulted flit.
+    pub replay_stall_cycles: u64,
 }
 
 impl QpiStats {
@@ -92,6 +101,18 @@ impl QpiStats {
             self.lines_read as f64 / self.lines_written as f64
         }
     }
+
+    /// Add another endpoint's counters onto this one (multi-pass runs
+    /// report one combined set of link statistics).
+    pub fn accumulate(&mut self, other: &QpiStats) {
+        self.lines_read += other.lines_read;
+        self.lines_written += other.lines_written;
+        self.read_stall_cycles += other.read_stall_cycles;
+        self.write_stall_cycles += other.write_stall_cycles;
+        self.link_errors += other.link_errors;
+        self.link_replays += other.link_replays;
+        self.replay_stall_cycles += other.replay_stall_cycles;
+    }
 }
 
 /// The token-bucket QPI endpoint.
@@ -107,6 +128,16 @@ pub struct QpiEndpoint {
     /// Counters at the last rate refresh, so the mix is measured over the
     /// most recent window (a two-pass HIST run changes mix mid-flight).
     window_base: (u64, u64),
+    /// Injected transient-error schedule, if any.
+    faults: Option<QpiFaultSchedule>,
+    /// Line operations granted so far (reads + writes) — the index the
+    /// fault schedule is keyed on.
+    ops_granted: u64,
+    /// The link is busy replaying a faulted flit until this cycle.
+    replay_busy_until: u64,
+    /// A transfer exhausted its replay budget; the endpoint is wedged
+    /// until the owner notices and aborts the run.
+    hard_fault: Option<FpartError>,
 }
 
 impl QpiEndpoint {
@@ -122,6 +153,62 @@ impl QpiEndpoint {
             config,
             stats: QpiStats::default(),
             window_base: (0, 0),
+            faults: None,
+            ops_granted: 0,
+            replay_busy_until: 0,
+            hard_fault: None,
+        }
+    }
+
+    /// Arm the endpoint with a transient-error schedule. Faulted line
+    /// operations are replayed with a latency penalty; a burst beyond
+    /// the schedule's replay limit wedges the endpoint with a
+    /// [`FpartError::LinkRetryExhausted`] the owner must collect via
+    /// [`QpiEndpoint::hard_fault`].
+    pub fn inject_faults(&mut self, schedule: QpiFaultSchedule) {
+        self.faults = Some(schedule);
+    }
+
+    /// The unrecoverable link fault, if one occurred.
+    pub fn hard_fault(&self) -> Option<FpartError> {
+        self.hard_fault.clone()
+    }
+
+    /// Consult the fault schedule before granting the next line
+    /// operation. Returns `true` when the operation must be denied this
+    /// cycle (replay in progress, a fresh transient, or a hard fault).
+    fn fault_gate(&mut self) -> bool {
+        if self.hard_fault.is_some() {
+            return true;
+        }
+        if self.cycle < self.replay_busy_until {
+            self.stats.replay_stall_cycles += 1;
+            return true;
+        }
+        let Some(sched) = &mut self.faults else {
+            return false;
+        };
+        match sched.faults.front() {
+            Some(&(op, burst)) if op == self.ops_granted => {
+                sched.faults.pop_front();
+                self.stats.link_errors += 1;
+                if burst > sched.replay_limit {
+                    self.hard_fault = Some(FpartError::LinkRetryExhausted {
+                        retries: sched.replay_limit,
+                        cycle: self.cycle,
+                    });
+                } else {
+                    self.stats.link_replays += burst as u64;
+                    // The detection cycle is itself a stall: the op that hit
+                    // the error is denied and retries once the replay window
+                    // (burst × penalty cycles, this one included) elapses.
+                    self.stats.replay_stall_cycles += 1;
+                    self.replay_busy_until =
+                        self.cycle + burst as u64 * sched.replay_penalty as u64;
+                }
+                true
+            }
+            _ => false,
         }
     }
 
@@ -148,8 +235,12 @@ impl QpiEndpoint {
             self.stats.read_stall_cycles += 1;
             return false;
         }
+        if self.fault_gate() {
+            return false;
+        }
         self.credit -= CACHE_LINE_BYTES as f64;
         self.stats.lines_read += 1;
+        self.ops_granted += 1;
         self.pending_reads
             .push_back((self.cycle + self.config.read_latency as u64, tag));
         true
@@ -163,8 +254,12 @@ impl QpiEndpoint {
             self.stats.write_stall_cycles += 1;
             return false;
         }
+        if self.fault_gate() {
+            return false;
+        }
         self.credit -= CACHE_LINE_BYTES as f64;
         self.stats.lines_written += 1;
+        self.ops_granted += 1;
         true
     }
 
@@ -205,7 +300,8 @@ impl QpiEndpoint {
         } else {
             reads as f64 / writes as f64
         };
-        self.bytes_per_cycle = self.config.curve.bytes_per_sec(RwMix::from_r(r)) / self.config.clock_hz;
+        self.bytes_per_cycle =
+            self.config.curve.bytes_per_sec(RwMix::from_r(r)) / self.config.clock_hz;
     }
 
     /// The current credit refill rate in bytes per cycle (test hook).
@@ -313,6 +409,68 @@ mod tests {
             read_heavy_rate > 9.0 * 1e9 / 200e6 / 1.01,
             "rate {read_heavy_rate} should approach 50 B/cycle"
         );
+    }
+
+    #[test]
+    fn transient_fault_replays_with_penalty() {
+        let mut qpi = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        // Fault the second granted op with a burst of 2 replays.
+        let mut sched = crate::fault::QpiFaultSchedule::new(vec![(1, 2)]);
+        sched.replay_penalty = 5;
+        qpi.inject_faults(sched);
+
+        qpi.tick();
+        assert!(qpi.try_read(0), "op 0 unaffected");
+        // Op 1 hits the fault: denied while the link replays the flit.
+        let mut denied = 0;
+        loop {
+            qpi.tick();
+            if qpi.try_read(1) {
+                break;
+            }
+            denied += 1;
+            assert!(denied < 100, "replay never completed");
+        }
+        assert_eq!(denied, 2 * 5, "burst × penalty cycles of stall");
+        let stats = qpi.stats();
+        assert_eq!(stats.link_errors, 1);
+        assert_eq!(stats.link_replays, 2);
+        assert_eq!(stats.replay_stall_cycles, 10);
+        assert_eq!(qpi.hard_fault(), None);
+        assert_eq!(stats.lines_read, 2, "both reads eventually granted");
+    }
+
+    #[test]
+    fn burst_beyond_replay_limit_is_fatal() {
+        let mut qpi = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        let mut sched = crate::fault::QpiFaultSchedule::new(vec![(0, 99)]);
+        sched.replay_limit = 8;
+        qpi.inject_faults(sched);
+        qpi.tick();
+        assert!(!qpi.try_write(), "faulted op denied");
+        let err = qpi.hard_fault().expect("burst 99 > limit 8 is fatal");
+        assert!(matches!(
+            err,
+            FpartError::LinkRetryExhausted { retries: 8, .. }
+        ));
+        // The endpoint stays wedged.
+        qpi.tick();
+        assert!(!qpi.try_write());
+        assert_eq!(qpi.stats().lines_written, 0);
+    }
+
+    #[test]
+    fn fault_free_schedule_changes_nothing() {
+        let mut a = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        let mut b = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        b.inject_faults(crate::fault::QpiFaultSchedule::new(vec![]));
+        for i in 0..50 {
+            a.tick();
+            b.tick();
+            assert_eq!(a.try_read(i), b.try_read(i));
+            assert_eq!(a.try_write(), b.try_write());
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -1,62 +1,64 @@
-//! Property-based invariants of the simulation kernel.
+//! Property-based invariants of the simulation kernel, exercised with a
+//! seeded deterministic generator.
 
 use fpart_hwsim::{Bram, Fifo, PageAllocator, PageTable, QpiConfig, QpiEndpoint, PAGE_BYTES};
 use fpart_memmodel::BandwidthCurve;
-use proptest::collection::vec;
-use proptest::prelude::*;
+use fpart_types::SplitMix64;
 
-proptest! {
-    /// A FIFO is exactly a bounded queue: replaying any accept/pop trace
-    /// against a model VecDeque agrees at every step.
-    #[test]
-    fn fifo_matches_model(capacity in 1usize..16, ops in vec(any::<Option<u8>>(), 0..200)) {
+/// A FIFO is exactly a bounded queue: replaying any accept/pop trace
+/// against a model VecDeque agrees at every step.
+#[test]
+fn fifo_matches_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x4857_0001);
+    for _ in 0..32 {
+        let capacity = 1 + rng.below_u64(15) as usize;
+        let n_ops = rng.below_u64(200) as usize;
         let mut fifo = Fifo::new(capacity);
         let mut model = std::collections::VecDeque::new();
-        for op in ops {
-            match op {
-                Some(item) => {
-                    let accepted = fifo.push(item).is_ok();
-                    prop_assert_eq!(accepted, model.len() < capacity);
-                    if accepted {
-                        model.push_back(item);
-                    }
+        for _ in 0..n_ops {
+            if rng.next_bool() {
+                let item = rng.next_u64() as u8;
+                let accepted = fifo.push(item).is_ok();
+                assert_eq!(accepted, model.len() < capacity);
+                if accepted {
+                    model.push_back(item);
                 }
-                None => {
-                    prop_assert_eq!(fifo.pop(), model.pop_front());
-                }
+            } else {
+                assert_eq!(fifo.pop(), model.pop_front());
             }
-            prop_assert_eq!(fifo.len(), model.len());
-            prop_assert_eq!(fifo.is_full(), model.len() == capacity);
-            prop_assert!(fifo.high_water() <= capacity);
+            assert_eq!(fifo.len(), model.len());
+            assert_eq!(fifo.is_full(), model.len() == capacity);
+            assert!(fifo.high_water() <= capacity);
         }
     }
+}
 
-    /// BRAM reads return the cell value captured at issue time, for any
-    /// interleaving of reads, writes and ticks.
-    #[test]
-    fn bram_reads_capture_issue_time(
-        latency in 1u32..4,
-        ops in vec((0usize..8, any::<Option<u16>>()), 0..100),
-    ) {
+/// BRAM reads return the cell value captured at issue time, for any
+/// interleaving of reads, writes and ticks.
+#[test]
+fn bram_reads_capture_issue_time() {
+    let mut rng = SplitMix64::seed_from_u64(0x4857_0002);
+    for _ in 0..32 {
+        let latency = 1 + rng.below_u64(3) as u32;
+        let n_ops = rng.below_u64(100) as usize;
         let mut bram = Bram::new(8, 0u16, latency);
         let mut cells = [0u16; 8];
         // (expected_addr, expected_value) in issue order.
         let mut expectations = std::collections::VecDeque::new();
-        for (addr, write) in ops {
-            match write {
-                Some(v) => {
-                    bram.write(addr, v);
-                    cells[addr] = v;
-                }
-                None => {
-                    bram.issue_read(addr);
-                    expectations.push_back((addr, cells[addr]));
-                }
+        for _ in 0..n_ops {
+            let addr = rng.index(8);
+            if rng.next_bool() {
+                let v = rng.next_u64() as u16;
+                bram.write(addr, v);
+                cells[addr] = v;
+            } else {
+                bram.issue_read(addr);
+                expectations.push_back((addr, cells[addr]));
             }
             bram.tick();
             if let Some(out) = bram.data_out() {
                 let expect = expectations.pop_front().expect("spurious output");
-                prop_assert_eq!(out, expect);
+                assert_eq!(out, expect);
             }
         }
         // Drain the pipeline.
@@ -64,20 +66,22 @@ proptest! {
             bram.tick();
             if let Some(out) = bram.data_out() {
                 let expect = expectations.pop_front().expect("spurious output");
-                prop_assert_eq!(out, expect);
+                assert_eq!(out, expect);
             }
         }
-        prop_assert!(expectations.is_empty(), "reads lost in the pipeline");
+        assert!(expectations.is_empty(), "reads lost in the pipeline");
     }
+}
 
-    /// The token bucket never grants more bytes than rate × time plus the
-    /// burst cap, and read responses preserve request order.
-    #[test]
-    fn qpi_grant_bound_and_ordering(
-        gbps in 1.0f64..30.0,
-        cycles in 10u64..500,
-        read_bias in 0u8..=100,
-    ) {
+/// The token bucket never grants more bytes than rate × time plus the
+/// burst cap, and read responses preserve request order.
+#[test]
+fn qpi_grant_bound_and_ordering() {
+    let mut rng = SplitMix64::seed_from_u64(0x4857_0003);
+    for _ in 0..32 {
+        let gbps = 1.0 + rng.next_f64() * 29.0;
+        let cycles = 10 + rng.below_u64(490);
+        let read_bias = rng.below_u64(101) as u8;
         let mut qpi = QpiEndpoint::new(QpiConfig {
             curve: BandwidthCurve::new("flat", vec![(0.0, gbps), (1.0, gbps)]),
             clock_hz: 200e6,
@@ -102,31 +106,37 @@ proptest! {
         }
         let stats = qpi.stats();
         let rate_bytes = gbps * 1e9 / 200e6 * cycles as f64;
-        prop_assert!(
+        assert!(
             stats.total_bytes() as f64 <= rate_bytes + 8.0 * 64.0 + 64.0,
             "granted {} bytes with budget {rate_bytes:.0}",
             stats.total_bytes()
         );
         // In-order delivery.
-        prop_assert!(received.windows(2).all(|w| w[0] < w[1]));
+        assert!(received.windows(2).all(|w| w[0] < w[1]));
     }
+}
 
-    /// Page-table translation is injective across the mapped space: no
-    /// two distinct virtual lines share a physical line.
-    #[test]
-    fn translation_is_injective(pages in 1usize..12, probes in vec(any::<u32>(), 1..50)) {
+/// Page-table translation is injective across the mapped space: no two
+/// distinct virtual lines share a physical line.
+#[test]
+fn translation_is_injective() {
+    let mut rng = SplitMix64::seed_from_u64(0x4857_0004);
+    for _ in 0..32 {
+        let pages = 1 + rng.below_u64(11) as usize;
+        let n_probes = 1 + rng.below_u64(49) as usize;
         let mut alloc = PageAllocator::new(64 * PAGE_BYTES);
         let frames = alloc.allocate(pages).unwrap();
         let mut pt = PageTable::new(pages);
         pt.populate(&frames).unwrap();
         let span = pages as u64 * PAGE_BYTES;
         let mut seen = std::collections::HashMap::new();
-        for p in probes {
+        for _ in 0..n_probes {
+            let p = rng.next_u32();
             let vaddr = (p as u64 * 4096) % span;
             let paddr = pt.translate(vaddr).unwrap();
-            prop_assert_eq!(paddr % PAGE_BYTES, vaddr % PAGE_BYTES, "offset preserved");
+            assert_eq!(paddr % PAGE_BYTES, vaddr % PAGE_BYTES, "offset preserved");
             if let Some(&prev) = seen.get(&paddr) {
-                prop_assert_eq!(prev, vaddr, "two vaddrs mapped to one paddr");
+                assert_eq!(prev, vaddr, "two vaddrs mapped to one paddr");
             }
             seen.insert(paddr, vaddr);
         }

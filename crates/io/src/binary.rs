@@ -143,11 +143,17 @@ mod tests {
         let keys64: Vec<u64> = KeyDistribution::Grid.generate_keys(3000, 2);
         let r16 = Relation::<Tuple16>::from_keys(&keys64);
         write_relation(&r16, &path).unwrap();
-        assert_eq!(read_relation::<Tuple16>(&path).unwrap().tuples(), r16.tuples());
+        assert_eq!(
+            read_relation::<Tuple16>(&path).unwrap().tuples(),
+            r16.tuples()
+        );
 
         let r64 = Relation::<Tuple64>::from_keys(&keys64);
         write_relation(&r64, &path).unwrap();
-        assert_eq!(read_relation::<Tuple64>(&path).unwrap().tuples(), r64.tuples());
+        assert_eq!(
+            read_relation::<Tuple64>(&path).unwrap().tuples(),
+            r64.tuples()
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -166,7 +172,10 @@ mod tests {
         let rel = Relation::<Tuple8>::from_keys(&[1, 2, 3]);
         write_relation(&rel, &path).unwrap();
         match read_relation::<Tuple16>(&path) {
-            Err(IoError::WidthMismatch { file: 8, requested: 16 }) => {}
+            Err(IoError::WidthMismatch {
+                file: 8,
+                requested: 16,
+            }) => {}
             other => panic!("expected width mismatch, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
@@ -192,7 +201,10 @@ mod tests {
     fn non_fprt_file_is_rejected() {
         let path = tmp("magic");
         std::fs::write(&path, b"definitely not a relation").unwrap();
-        assert!(matches!(read_relation::<Tuple8>(&path), Err(IoError::BadMagic)));
+        assert!(matches!(
+            read_relation::<Tuple8>(&path),
+            Err(IoError::BadMagic)
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -76,7 +76,9 @@ pub fn write_partitioned<T: Tuple>(
 }
 
 /// Read a partitioned relation of tuple type `T` from `path`.
-pub fn read_partitioned<T: Tuple>(path: impl AsRef<Path>) -> Result<PartitionedRelation<T>, IoError> {
+pub fn read_partitioned<T: Tuple>(
+    path: impl AsRef<Path>,
+) -> Result<PartitionedRelation<T>, IoError> {
     let mut input = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;

@@ -49,14 +49,13 @@ pub fn aggregate_partitioned<T: Tuple>(
     let mut all: Vec<Group<T::K>> = if threads == 1 {
         worker()
     } else {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| worker())).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
             handles
                 .into_iter()
                 .flat_map(|h| h.join().expect("aggregation worker"))
                 .collect()
         })
-        .expect("aggregation scope")
     };
     all.sort_unstable_by_key(|g| g.key);
     all
@@ -65,10 +64,7 @@ pub fn aggregate_partitioned<T: Tuple>(
 /// Open-addressing aggregation of one partition. Linear probing over a
 /// power-of-two table — the cache-resident structure partitioning makes
 /// possible.
-fn aggregate_one_partition<T: Tuple>(
-    parts: &PartitionedRelation<T>,
-    p: usize,
-) -> Vec<Group<T::K>> {
+fn aggregate_one_partition<T: Tuple>(parts: &PartitionedRelation<T>, p: usize) -> Vec<Group<T::K>> {
     let n = parts.partition_valid(p);
     if n == 0 {
         return Vec::new();

@@ -80,14 +80,13 @@ pub fn build_probe_all<T: Tuple>(
     let (matches, checksum) = if threads == 1 {
         worker()
     } else {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| worker())).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
             handles.into_iter().fold((0u64, 0u64), |acc, h| {
                 let (m, c) = h.join().expect("build+probe worker");
                 (acc.0 + m, acc.1.wrapping_add(c))
             })
         })
-        .expect("build+probe scope")
     };
 
     BuildProbeReport {

@@ -1,0 +1,429 @@
+//! The graceful-degradation escalation chain.
+//!
+//! The paper prescribes two reactions to a PAD-mode abort: "the
+//! operation aborts and falls back to a CPU based partitioner"
+//! (Section 4.5), or the run is restarted in HIST mode (Section 5.4).
+//! With the fault-injection subsystem the simulated platform can now
+//! also abort on link failures ([`FpartError::LinkRetryExhausted`]) and
+//! BRAM soft errors ([`FpartError::BramSoftError`]); the
+//! [`FpartError`] contract says to treat any hardware abort the same
+//! way — escalate.
+//!
+//! [`EscalationChain`] encodes that policy as an ordered chain:
+//!
+//! 1. the configured FPGA run (PAD or HIST),
+//! 2. an optional HIST-mode FPGA retry (skipped when the first attempt
+//!    already ran HIST),
+//! 3. an optional CPU fallback, which cannot fail.
+//!
+//! Every attempt — failed or successful — is recorded in a
+//! [`DegradationReport`], including *why* a step failed and an estimate
+//! of the simulated work the abort threw away ("the data partitioned
+//! up to the point of failure is not usable", Section 5.4). The chain
+//! is deterministic: the same fault plan against the same input
+//! reproduces the identical report.
+
+use fpart_cpu::{CpuPartitioner, CpuRunReport};
+use fpart_fpga::{FpgaPartitioner, OutputMode, RunReport};
+use fpart_types::{FpartError, PartitionedRelation, Relation, Result, Tuple};
+
+/// What to do when a PAD-mode FPGA run aborts. The join-level policy
+/// knob; [`EscalationChain::from_policy`] maps it onto the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Re-partition the offending relation on the CPU (Section 4.5).
+    CpuPartitioner,
+    /// Restart the FPGA run in HIST mode (Section 5.4).
+    HistMode,
+    /// Propagate the error to the caller.
+    Fail,
+}
+
+/// Which back-end an attempt ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptPath {
+    /// FPGA, PAD output mode (single pass, overflow possible).
+    Pad,
+    /// FPGA, HIST output mode (two passes, overflow-free).
+    Hist,
+    /// The host CPU partitioner (cannot fail).
+    Cpu,
+}
+
+impl AttemptPath {
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Pad => "FPGA/PAD",
+            Self::Hist => "FPGA/HIST",
+            Self::Cpu => "CPU",
+        }
+    }
+}
+
+/// One attempt of the chain: which path ran, why it failed (if it did)
+/// and roughly how much simulated work the abort discarded.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// The back-end that ran.
+    pub path: AttemptPath,
+    /// The error that aborted this attempt; `None` for the successful
+    /// final attempt.
+    pub error: Option<FpartError>,
+    /// Estimated simulated FPGA cycles thrown away by the abort: the
+    /// abandonment cycle for a link failure, the lines streamed before
+    /// detection for a PAD overflow, 0 where the sim gives no handle.
+    pub wasted_cycles: u64,
+}
+
+impl AttemptRecord {
+    /// Whether this attempt completed.
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// The full story of one partitioning request through the chain.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// Every attempt in order; the last one succeeded.
+    pub attempts: Vec<AttemptRecord>,
+    /// Report of the successful FPGA run, if the chain ended on the FPGA.
+    pub fpga: Option<RunReport>,
+    /// Report of the CPU fallback, if the chain ended on the CPU.
+    pub cpu: Option<CpuRunReport>,
+}
+
+impl DegradationReport {
+    /// The path that finally produced the output.
+    pub fn final_path(&self) -> AttemptPath {
+        self.attempts
+            .last()
+            .expect("a report always has at least one attempt")
+            .path
+    }
+
+    /// Whether any step had to abort (i.e. the first attempt was not the
+    /// last).
+    pub fn degraded(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// The error that triggered the first escalation, if any.
+    pub fn first_error(&self) -> Option<&FpartError> {
+        self.attempts.iter().find_map(|a| a.error.as_ref())
+    }
+
+    /// Total estimated simulated cycles discarded across all aborts.
+    pub fn wasted_cycles(&self) -> u64 {
+        self.attempts.iter().map(|a| a.wasted_cycles).sum()
+    }
+
+    /// The consumed-tuple points at which PAD overflows were detected
+    /// (one entry per aborted PAD attempt).
+    pub fn abort_points(&self) -> Vec<u64> {
+        self.attempts
+            .iter()
+            .filter_map(|a| match a.error {
+                Some(FpartError::PartitionOverflow { consumed, .. }) => Some(consumed as u64),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Estimated simulated cycles an aborted run threw away.
+fn wasted_estimate<T: Tuple>(err: &FpartError) -> u64 {
+    match err {
+        // The circuit streams ~one line per cycle; the overflow was
+        // detected after `consumed` tuples entered the datapath.
+        FpartError::PartitionOverflow { consumed, .. } => {
+            (*consumed as u64).div_ceil(T::LANES as u64)
+        }
+        FpartError::LinkRetryExhausted { cycle, .. } => *cycle,
+        // BRAM soft errors and unknown variants: the sim has no cycle
+        // handle at the abort site.
+        _ => 0,
+    }
+}
+
+/// The ordered PAD → HIST → CPU escalation chain. Each step past the
+/// first is optional; disabling both reproduces [`FallbackPolicy::Fail`].
+#[derive(Debug, Clone)]
+pub struct EscalationChain {
+    /// Retry an aborted run in HIST output mode before giving up on the
+    /// FPGA.
+    pub hist_retry: bool,
+    /// Fall back to the CPU partitioner as the last resort.
+    pub cpu_fallback: bool,
+    /// Threads for the CPU fallback.
+    pub cpu_threads: usize,
+}
+
+impl EscalationChain {
+    /// The full chain: HIST retry, then CPU fallback.
+    pub fn new(cpu_threads: usize) -> Self {
+        Self {
+            hist_retry: true,
+            cpu_fallback: true,
+            cpu_threads,
+        }
+    }
+
+    /// The chain a join-level [`FallbackPolicy`] describes.
+    pub fn from_policy(policy: FallbackPolicy, cpu_threads: usize) -> Self {
+        let (hist_retry, cpu_fallback) = match policy {
+            FallbackPolicy::CpuPartitioner => (false, true),
+            FallbackPolicy::HistMode => (true, false),
+            FallbackPolicy::Fail => (false, false),
+        };
+        Self {
+            hist_retry,
+            cpu_fallback,
+            cpu_threads,
+        }
+    }
+
+    /// Drive `rel` through the chain starting from `fpga` (whose config,
+    /// QPI model and armed fault plan all carry over into the HIST
+    /// retry).
+    ///
+    /// # Errors
+    /// [`FpartError::InvalidConfig`] propagates immediately (no retry
+    /// fixes a bad config). Any other error escalates down the chain;
+    /// the last error propagates when the chain is exhausted.
+    pub fn run<T: Tuple>(
+        &self,
+        fpga: &FpgaPartitioner,
+        rel: &Relation<T>,
+    ) -> Result<(PartitionedRelation<T>, DegradationReport)> {
+        let mut attempts = Vec::new();
+
+        let first_path = match fpga.config().output {
+            OutputMode::Pad { .. } => AttemptPath::Pad,
+            OutputMode::Hist => AttemptPath::Hist,
+        };
+        let mut last_err = match fpga.partition(rel) {
+            Ok((parts, report)) => {
+                attempts.push(AttemptRecord {
+                    path: first_path,
+                    error: None,
+                    wasted_cycles: 0,
+                });
+                return Ok((
+                    parts,
+                    DegradationReport {
+                        attempts,
+                        fpga: Some(report),
+                        cpu: None,
+                    },
+                ));
+            }
+            Err(e @ FpartError::InvalidConfig(_)) => return Err(e),
+            Err(e) => {
+                attempts.push(AttemptRecord {
+                    path: first_path,
+                    error: Some(e.clone()),
+                    wasted_cycles: wasted_estimate::<T>(&e),
+                });
+                e
+            }
+        };
+
+        if self.hist_retry && first_path != AttemptPath::Hist {
+            match fpga.with_output_mode(OutputMode::Hist).partition(rel) {
+                Ok((parts, report)) => {
+                    attempts.push(AttemptRecord {
+                        path: AttemptPath::Hist,
+                        error: None,
+                        wasted_cycles: 0,
+                    });
+                    return Ok((
+                        parts,
+                        DegradationReport {
+                            attempts,
+                            fpga: Some(report),
+                            cpu: None,
+                        },
+                    ));
+                }
+                Err(e) => {
+                    attempts.push(AttemptRecord {
+                        path: AttemptPath::Hist,
+                        error: Some(e.clone()),
+                        wasted_cycles: wasted_estimate::<T>(&e),
+                    });
+                    last_err = e;
+                }
+            }
+        }
+
+        if self.cpu_fallback {
+            let cpu = CpuPartitioner::new(fpga.config().partition_fn, self.cpu_threads);
+            let (parts, report) = cpu.partition(rel);
+            attempts.push(AttemptRecord {
+                path: AttemptPath::Cpu,
+                error: None,
+                wasted_cycles: 0,
+            });
+            return Ok((
+                parts,
+                DegradationReport {
+                    attempts,
+                    fpga: None,
+                    cpu: Some(report),
+                },
+            ));
+        }
+
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_datagen::KeyDistribution;
+    use fpart_fpga::{InputMode, PaddingSpec, PartitionerConfig};
+    use fpart_hash::PartitionFn;
+    use fpart_hwsim::{Fault, FaultPlan, QpiConfig};
+    use fpart_types::{Relation, Tuple8};
+
+    fn pad_cfg(bits: u32, pad: usize) -> PartitionerConfig {
+        PartitionerConfig {
+            partition_fn: PartitionFn::Murmur { bits },
+            output: OutputMode::Pad {
+                padding: PaddingSpec::Tuples(pad),
+            },
+            input: InputMode::Rid,
+            fifo_capacity: 64,
+            out_fifo_capacity: 8,
+        }
+    }
+
+    fn skewed() -> Relation<Tuple8> {
+        Relation::from_keys(&vec![7u32; 4096])
+    }
+
+    #[test]
+    fn clean_run_reports_single_attempt() {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(2048, 3);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let fpga = FpgaPartitioner::new(pad_cfg(4, 1024));
+        let chain = EscalationChain::new(2);
+        let (parts, report) = chain.run(&fpga, &rel).unwrap();
+        assert_eq!(parts.total_valid(), 2048);
+        assert!(!report.degraded());
+        assert_eq!(report.final_path(), AttemptPath::Pad);
+        assert_eq!(report.wasted_cycles(), 0);
+        assert!(report.fpga.is_some() && report.cpu.is_none());
+    }
+
+    #[test]
+    fn overflow_escalates_to_hist() {
+        let rel = skewed();
+        let fpga = FpgaPartitioner::new(pad_cfg(6, 0));
+        let chain = EscalationChain::new(2);
+        let (parts, report) = chain.run(&fpga, &rel).unwrap();
+        assert_eq!(parts.total_valid(), 4096);
+        assert!(report.degraded());
+        assert_eq!(report.final_path(), AttemptPath::Hist);
+        assert_eq!(report.attempts.len(), 2);
+        assert!(matches!(
+            report.first_error(),
+            Some(FpartError::PartitionOverflow { .. })
+        ));
+        assert!(report.wasted_cycles() > 0, "the abort discarded work");
+        assert_eq!(report.abort_points().len(), 1);
+    }
+
+    #[test]
+    fn persistent_fault_falls_through_to_cpu() {
+        // A histogram-BRAM soft error kills the HIST retry too; only the
+        // CPU completes.
+        let rel = skewed();
+        let plan = FaultPlan::new().with(Fault::BramFlip {
+            bram: fpart_hwsim::BramKind::Histogram,
+            addr: 1,
+        });
+        let fpga = FpgaPartitioner::new(pad_cfg(6, 0)).with_faults(plan);
+        let chain = EscalationChain::new(2);
+        let (parts, report) = chain.run(&fpga, &rel).unwrap();
+        assert_eq!(parts.total_valid(), 4096);
+        assert_eq!(report.final_path(), AttemptPath::Cpu);
+        assert_eq!(report.attempts.len(), 3, "PAD, HIST, CPU all recorded");
+        assert!(matches!(
+            report.attempts[1].error,
+            Some(FpartError::BramSoftError { .. })
+        ));
+        assert!(report.cpu.is_some() && report.fpga.is_none());
+    }
+
+    #[test]
+    fn link_failure_escalates_like_overflow() {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(2048, 5);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let plan = FaultPlan::new().with(Fault::QpiTransient {
+            pass: fpart_hwsim::PassId::Scatter,
+            op_index: 40,
+            burst: 1000, // > replay budget → fatal
+        });
+        let fpga = FpgaPartitioner::with_qpi(pad_cfg(4, 1024), QpiConfig::unlimited(200e6))
+            .with_faults(plan);
+        // The fault plan re-arms per attempt, so the HIST retry's scatter
+        // pass dies on the same op — the chain must reach the CPU.
+        let chain = EscalationChain::new(2);
+        let (parts, report) = chain.run(&fpga, &rel).unwrap();
+        assert_eq!(parts.total_valid(), 2048);
+        assert_eq!(report.final_path(), AttemptPath::Cpu);
+        assert!(matches!(
+            report.attempts[0].error,
+            Some(FpartError::LinkRetryExhausted { .. })
+        ));
+        assert!(
+            report.attempts[0].wasted_cycles > 0,
+            "abandonment cycle is the wasted-work estimate"
+        );
+    }
+
+    #[test]
+    fn disabled_steps_propagate_the_error() {
+        let rel = skewed();
+        let fpga = FpgaPartitioner::new(pad_cfg(6, 0));
+        let chain = EscalationChain::from_policy(FallbackPolicy::Fail, 2);
+        let err = chain.run(&fpga, &rel).unwrap_err();
+        assert!(matches!(err, FpartError::PartitionOverflow { .. }));
+    }
+
+    #[test]
+    fn policy_mapping() {
+        let c = EscalationChain::from_policy(FallbackPolicy::CpuPartitioner, 4);
+        assert!(!c.hist_retry && c.cpu_fallback && c.cpu_threads == 4);
+        let h = EscalationChain::from_policy(FallbackPolicy::HistMode, 1);
+        assert!(h.hist_retry && !h.cpu_fallback);
+        let f = EscalationChain::from_policy(FallbackPolicy::Fail, 1);
+        assert!(!f.hist_retry && !f.cpu_fallback);
+    }
+
+    #[test]
+    fn hist_first_run_skips_hist_retry() {
+        // A HIST-mode first attempt that dies on a histogram soft error
+        // must not "retry in HIST" — it goes straight to the CPU.
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(1024, 9);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let cfg = PartitionerConfig {
+            output: OutputMode::Hist,
+            ..pad_cfg(4, 0)
+        };
+        let plan = FaultPlan::new().with(Fault::BramFlip {
+            bram: fpart_hwsim::BramKind::Histogram,
+            addr: 0,
+        });
+        let fpga = FpgaPartitioner::new(cfg).with_faults(plan);
+        let chain = EscalationChain::new(2);
+        let (_, report) = chain.run(&fpga, &rel).unwrap();
+        assert_eq!(report.attempts.len(), 2, "HIST then CPU, no double HIST");
+        assert_eq!(report.attempts[0].path, AttemptPath::Hist);
+        assert_eq!(report.final_path(), AttemptPath::Cpu);
+    }
+}

@@ -170,8 +170,7 @@ mod tests {
             .take(512)
             .collect();
         assert!(keys.len() >= 256, "need enough same-partition keys");
-        let table =
-            BucketChainTable::build(keys.iter().map(|&k| Tuple8::new(k, 0)), shift_for(f));
+        let table = BucketChainTable::build(keys.iter().map(|&k| Tuple8::new(k, 0)), shift_for(f));
         // With 512 tuples in a 512-bucket table and a good hash, chains
         // stay short; without the shift every tuple would share the low
         // bits but the masked index uses higher bits, so expect < 8.

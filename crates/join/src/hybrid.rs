@@ -14,25 +14,17 @@
 //! partitioner" (Section 4.5) — or, per Section 5.4, the run can be
 //! restarted in HIST mode; [`FallbackPolicy`] selects which.
 
-use fpart_cpu::{CpuPartitioner, CpuRunReport};
-use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig, RunReport};
+use fpart_cpu::CpuRunReport;
+use fpart_fpga::{FpgaPartitioner, InputMode, PartitionerConfig, RunReport};
 use fpart_hwsim::QpiConfig;
 use fpart_types::{ColumnRelation, FpartError, PartitionedRelation, Relation, Result, Tuple};
 
 use crate::buildprobe::{build_probe_all, BuildProbeReport};
+use crate::fallback::{AttemptPath, EscalationChain};
 use crate::materialize::{materialize_join_vrid, rows_checksum};
 use crate::radix::JoinResult;
 
-/// What to do when PAD mode overflows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FallbackPolicy {
-    /// Re-partition the offending relation on the CPU (Section 4.5).
-    CpuPartitioner,
-    /// Restart the FPGA run in HIST mode (Section 5.4).
-    HistMode,
-    /// Propagate the error to the caller.
-    Fail,
-}
+pub use crate::fallback::FallbackPolicy;
 
 /// How one relation ended up partitioned.
 #[derive(Debug, Clone)]
@@ -132,30 +124,26 @@ impl HybridJoin {
         &self,
         rel: &Relation<T>,
     ) -> Result<(PartitionedRelation<T>, PartitionOutcome)> {
-        match self.partitioner(self.fpga.clone()).partition(rel) {
-            Ok((p, report)) => Ok((p, PartitionOutcome::Fpga(report))),
-            Err(error @ FpartError::PartitionOverflow { .. }) => match self.fallback {
-                FallbackPolicy::Fail => Err(error),
-                FallbackPolicy::CpuPartitioner => {
-                    let cpu = CpuPartitioner::new(self.fpga.partition_fn, self.cpu_threads);
-                    let (p, cpu_report) = cpu.partition(rel);
-                    Ok((
-                        p,
-                        PartitionOutcome::CpuFallback {
-                            error,
-                            cpu: cpu_report,
-                        },
-                    ))
-                }
-                FallbackPolicy::HistMode => {
-                    let mut config = self.fpga.clone();
-                    config.output = OutputMode::Hist;
-                    let (p, report) = self.partitioner(config).partition(rel)?;
-                    Ok((p, PartitionOutcome::HistRetry { error, report }))
-                }
+        let chain = EscalationChain::from_policy(self.fallback, self.cpu_threads);
+        let (p, report) = chain.run(&self.partitioner(self.fpga.clone()), rel)?;
+        let error = report.first_error().cloned();
+        let outcome = match (report.final_path(), error) {
+            (_, None) => {
+                PartitionOutcome::Fpga(report.fpga.expect("a clean chain run ends on the FPGA"))
+            }
+            (AttemptPath::Hist, Some(error)) => PartitionOutcome::HistRetry {
+                error,
+                report: report.fpga.expect("HIST path carries an FPGA report"),
             },
-            Err(other) => Err(other),
-        }
+            (AttemptPath::Cpu, Some(error)) => PartitionOutcome::CpuFallback {
+                error,
+                cpu: report.cpu.expect("CPU path carries a CPU report"),
+            },
+            (AttemptPath::Pad, Some(_)) => {
+                unreachable!("a degraded chain never ends on the PAD path")
+            }
+        };
+        Ok((p, outcome))
     }
 
     /// Execute R ⋈ S: FPGA partitioning (simulated) + CPU build+probe
@@ -240,7 +228,7 @@ mod tests {
     use crate::buildprobe::reference_join;
     use crate::radix::CpuRadixJoin;
     use fpart_datagen::WorkloadId;
-    use fpart_fpga::{InputMode, PaddingSpec};
+    use fpart_fpga::{InputMode, OutputMode, PaddingSpec};
     use fpart_hash::PartitionFn;
     use fpart_types::Tuple8;
 
@@ -357,6 +345,7 @@ mod vrid_tests {
     use super::*;
     use crate::radix::CpuRadixJoin;
     use fpart_datagen::WorkloadId;
+    use fpart_fpga::OutputMode;
     use fpart_hash::PartitionFn;
     use fpart_types::Tuple8;
 
@@ -366,10 +355,7 @@ mod vrid_tests {
         let (rc, sc) = spec.column_relations::<Tuple8>(0.00004, 5);
         let config = PartitionerConfig {
             partition_fn: PartitionFn::Murmur { bits: 5 },
-            ..PartitionerConfig::paper_default(
-                OutputMode::pad_default(),
-                InputMode::Vrid,
-            )
+            ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Vrid)
         };
         let hybrid = HybridJoin::new(config, 2);
         let (vrid_result, vrid_report) = hybrid.execute_columns(&rc, &sc).unwrap();
@@ -377,8 +363,7 @@ mod vrid_tests {
         // RID-mode reference on the materialised rows.
         let r = rc.to_row_store();
         let s = sc.to_row_store();
-        let (rid_result, _) = CpuRadixJoin::new(PartitionFn::Murmur { bits: 5 }, 2)
-            .execute(&r, &s);
+        let (rid_result, _) = CpuRadixJoin::new(PartitionFn::Murmur { bits: 5 }, 2).execute(&r, &s);
         assert_eq!(vrid_result, rid_result, "VRID join must equal RID join");
         assert!(vrid_report.fpga_partition_seconds() > 0.0);
     }

@@ -13,6 +13,10 @@
 //!   FPGA partitioning (simulated, with exact cycle accounting) feeding
 //!   the CPU build+probe, including the PAD-overflow fallback to the CPU
 //!   partitioner (Section 4.5);
+//! * [`fallback::EscalationChain`] — the shared PAD → HIST → CPU
+//!   graceful-degradation chain behind that fallback, with a
+//!   [`fallback::DegradationReport`] recording every abort, its cause and
+//!   the simulated work it discarded;
 //! * [`nopart::no_partition_join`] — the no-partitioning baseline;
 //! * [`aggregate`] — the group-by extension sketched in the paper's
 //!   Discussion ("the partitioning we have described can also be used for
@@ -27,6 +31,7 @@
 
 pub mod aggregate;
 pub mod buildprobe;
+pub mod fallback;
 pub mod hashtable;
 pub mod hybrid;
 pub mod materialize;
@@ -35,5 +40,8 @@ pub mod planner;
 pub mod radix;
 
 pub use buildprobe::{build_probe_all, BuildProbeReport};
+pub use fallback::{
+    AttemptPath, AttemptRecord, DegradationReport, EscalationChain, FallbackPolicy,
+};
 pub use hybrid::{HybridJoin, HybridJoinReport};
 pub use radix::{CpuRadixJoin, JoinReport, JoinResult};

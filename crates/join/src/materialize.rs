@@ -73,14 +73,13 @@ pub fn materialize_join<T: Tuple>(
     let mut all: Vec<(usize, Vec<JoinedRow<T::K>>)> = if threads == 1 {
         worker()
     } else {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| worker())).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
             handles
                 .into_iter()
                 .flat_map(|h| h.join().expect("materialize worker"))
                 .collect()
         })
-        .expect("materialize scope")
     };
     // Deterministic output order: by partition id.
     all.sort_unstable_by_key(|(p, _)| *p);
@@ -112,8 +111,9 @@ pub fn materialize_join_vrid<T: Tuple>(
 /// Order-insensitive checksum over materialised rows, comparable with
 /// [`crate::buildprobe::BuildProbeReport::checksum`].
 pub fn rows_checksum<K: Key>(rows: &[JoinedRow<K>]) -> u64 {
-    rows.iter()
-        .fold(0u64, |acc, r| acc.wrapping_add(r.r_payload).wrapping_add(r.s_payload))
+    rows.iter().fold(0u64, |acc, r| {
+        acc.wrapping_add(r.r_payload).wrapping_add(r.s_payload)
+    })
 }
 
 #[cfg(test)]

@@ -49,14 +49,13 @@ pub fn no_partition_join<T: Tuple>(
     let (matches, checksum) = if threads == 1 {
         worker()
     } else {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(|_| worker())).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
             handles.into_iter().fold((0u64, 0u64), |acc, h| {
                 let (m, c) = h.join().expect("probe worker");
                 (acc.0 + m, acc.1.wrapping_add(c))
             })
         })
-        .expect("probe scope")
     };
 
     let report = BuildProbeReport {
@@ -84,8 +83,8 @@ mod tests {
         let (m, c) = reference_join(r.tuples(), s.tuples());
         assert_eq!((result.matches, result.checksum), (m, c));
 
-        let (radix_result, _) = CpuRadixJoin::new(PartitionFn::Murmur { bits: 5 }, 2)
-            .execute(&r, &s);
+        let (radix_result, _) =
+            CpuRadixJoin::new(PartitionFn::Murmur { bits: 5 }, 2).execute(&r, &s);
         assert_eq!(result, radix_result);
     }
 

@@ -94,15 +94,14 @@ impl ModePlanner {
         // PAD also writes flush dummies: up to LANES-1 per combiner per
         // partition.
         let flush_overhead = T::LANES * (T::LANES - 1);
-        let output = if (estimated_max_fill + flush_overhead) as f64
-            <= self.margin * pad_capacity as f64
-        {
-            OutputMode::Pad {
-                padding: self.padding,
-            }
-        } else {
-            OutputMode::Hist
-        };
+        let output =
+            if (estimated_max_fill + flush_overhead) as f64 <= self.margin * pad_capacity as f64 {
+                OutputMode::Pad {
+                    padding: self.padding,
+                }
+            } else {
+                OutputMode::Hist
+            };
         Plan {
             output,
             estimated_max_fill,

@@ -132,8 +132,8 @@ impl DistributedJoin {
     ) -> Result<(PartitionedRelation<T>, f64)> {
         match self.partitioner {
             NodePartitioner::Cpu => {
-                let (parts, report) = CpuPartitioner::new(self.node_fn(), self.threads)
-                    .partition(share);
+                let (parts, report) =
+                    CpuPartitioner::new(self.node_fn(), self.threads).partition(share);
                 Ok((parts, report.total_time().as_secs_f64()))
             }
             NodePartitioner::Fpga => {
@@ -208,7 +208,7 @@ impl DistributedJoin {
                 *cell += s_cell;
             }
         }
-        let exchange_seconds = self.network.all_to_all_seconds(&traffic);
+        let exchange_seconds = self.network.all_to_all_seconds(&traffic)?;
         let network_bytes: u64 = traffic
             .iter()
             .enumerate()

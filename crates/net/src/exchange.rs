@@ -93,7 +93,11 @@ mod tests {
         assert_eq!(total, 8000);
         assert_eq!(
             content_checksum(rel.tuples().iter().copied()),
-            content_checksum(plan.received.iter().flat_map(|r| r.tuples().iter().copied()))
+            content_checksum(
+                plan.received
+                    .iter()
+                    .flat_map(|r| r.tuples().iter().copied())
+            )
         );
         // Routing: every tuple is on the node its hash says.
         for (node, owned) in plan.received.iter().enumerate() {

@@ -6,6 +6,8 @@
 //! line rate simultaneously). Under those assumptions an all-to-all
 //! exchange is bottlenecked by the busiest *port*, not the core.
 
+use fpart_types::{FpartError, Result};
+
 /// A non-blocking, full-duplex cluster network.
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
@@ -40,22 +42,27 @@ impl NetworkModel {
     /// receive volume over its bandwidth, plus per-fragment latency on
     /// the longest lane.
     ///
-    /// # Panics
-    /// Panics if the matrix is not square.
-    pub fn all_to_all_seconds(&self, traffic: &[Vec<u64>]) -> f64 {
+    /// # Errors
+    /// [`FpartError::InvalidConfig`] if the matrix is not square.
+    pub fn all_to_all_seconds(&self, traffic: &[Vec<u64>]) -> Result<f64> {
         let n = traffic.len();
         let mut max_port_bytes = 0u64;
         let mut max_messages = 0usize;
         for (src, row) in traffic.iter().enumerate() {
-            assert_eq!(row.len(), n, "traffic matrix must be square");
+            if row.len() != n {
+                return Err(FpartError::InvalidConfig(format!(
+                    "traffic matrix must be square: {n} rows but row {src} has {} columns",
+                    row.len()
+                )));
+            }
             let sent: u64 = (0..n).filter(|&d| d != src).map(|d| row[d]).sum();
             let recv: u64 = (0..n).filter(|&s| s != src).map(|s| traffic[s][src]).sum();
             max_port_bytes = max_port_bytes.max(sent).max(recv);
             let msgs = (0..n).filter(|&d| d != src && row[d] > 0).count();
             max_messages = max_messages.max(msgs);
         }
-        max_port_bytes as f64 / self.port_bytes_per_sec
-            + max_messages as f64 * self.message_latency
+        Ok(max_port_bytes as f64 / self.port_bytes_per_sec
+            + max_messages as f64 * self.message_latency)
     }
 }
 
@@ -68,7 +75,21 @@ mod tests {
         let net = NetworkModel::fdr_infiniband();
         // Everything on the diagonal: no time.
         let t = vec![vec![1 << 30, 0], vec![0, 1 << 30]];
-        assert_eq!(net.all_to_all_seconds(&t), 0.0);
+        assert_eq!(net.all_to_all_seconds(&t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn non_square_matrix_is_rejected() {
+        let net = NetworkModel::fdr_infiniband();
+        let t = vec![vec![0u64, 1], vec![2]];
+        let err = net.all_to_all_seconds(&t).unwrap_err();
+        match err {
+            FpartError::InvalidConfig(msg) => {
+                assert!(msg.contains("square"), "{msg}");
+                assert!(msg.contains("row 1"), "{msg}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -77,7 +98,7 @@ mod tests {
         // 4 nodes, each sends 1 GB to each other node: port volume 3 GB.
         let gb = 1u64 << 30;
         let t = vec![vec![gb; 4]; 4];
-        let secs = net.all_to_all_seconds(&t);
+        let secs = net.all_to_all_seconds(&t).unwrap();
         let expect = 3.0 * gb as f64 / 6.8e9 + 3.0 * 2e-6;
         assert!((secs - expect).abs() < 1e-9, "{secs} vs {expect}");
     }
@@ -92,7 +113,7 @@ mod tests {
             row[0] = 3 * gb;
             let _ = src;
         }
-        let secs = net.all_to_all_seconds(&t);
+        let secs = net.all_to_all_seconds(&t).unwrap();
         assert!((secs - 9.0 * gb as f64 / 6.8e9 - 2e-6).abs() < 1e-6);
     }
 
@@ -100,8 +121,10 @@ mod tests {
     fn slower_fabric_takes_longer() {
         let gb = 1u64 << 30;
         let t = vec![vec![gb; 2]; 2];
-        let fast = NetworkModel::fdr_infiniband().all_to_all_seconds(&t);
-        let slow = NetworkModel::ten_gbe().all_to_all_seconds(&t);
+        let fast = NetworkModel::fdr_infiniband()
+            .all_to_all_seconds(&t)
+            .unwrap();
+        let slow = NetworkModel::ten_gbe().all_to_all_seconds(&t).unwrap();
         assert!(slow > 5.0 * fast);
     }
 }

@@ -6,6 +6,18 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, FpartError>;
 
 /// Errors surfaced by partitioners, the circuit simulator and the join.
+///
+/// # Forward compatibility
+///
+/// The enum is `#[non_exhaustive]`: new failure modes are added as the
+/// simulated platform grows (the fault-injection subsystem added
+/// [`LinkRetryExhausted`](Self::LinkRetryExhausted) and
+/// [`BramSoftError`](Self::BramSoftError) this way). Downstream matches
+/// **must** carry a wildcard arm; within the workspace, treat an unknown
+/// variant as a non-recoverable hardware abort — escalate to the next
+/// degradation step (ultimately the CPU partitioner) rather than
+/// panicking. Adding a variant is a minor, not a breaking, change under
+/// this contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum FpartError {
@@ -36,6 +48,27 @@ pub enum FpartError {
         /// The offending virtual byte address.
         vaddr: u64,
     },
+    /// A QPI transfer kept failing after exhausting the link-level replay
+    /// budget: transient line errors are normally absorbed by replaying
+    /// the flit with a latency penalty, but a burst longer than the retry
+    /// limit aborts the access and surfaces here.
+    LinkRetryExhausted {
+        /// Replays attempted before giving up.
+        retries: u32,
+        /// Simulation cycle at which the access was abandoned.
+        cycle: u64,
+    },
+    /// A parity mismatch was detected reading an on-chip BRAM (a soft
+    /// error flipped a stored bit). The circuit has no ECC to correct
+    /// it, so the run's histogram state is untrustworthy and the pass
+    /// must be re-run or handed to the CPU.
+    BramSoftError {
+        /// Which BRAM reported the parity error (e.g. `"histogram"`,
+        /// `"fill-rate"`).
+        bram: &'static str,
+        /// The corrupted BRAM address.
+        addr: usize,
+    },
 }
 
 impl fmt::Display for FpartError {
@@ -60,6 +93,16 @@ impl fmt::Display for FpartError {
                 "page table full: {requested} pages requested, {capacity} entries available"
             ),
             Self::PageFault { vaddr } => write!(f, "page fault at virtual address {vaddr:#x}"),
+            Self::LinkRetryExhausted { retries, cycle } => write!(
+                f,
+                "QPI link error persisted through {retries} replays (abandoned at cycle \
+                 {cycle}); the transfer was aborted"
+            ),
+            Self::BramSoftError { bram, addr } => write!(
+                f,
+                "parity error reading {bram} BRAM address {addr}: a soft error corrupted \
+                 on-chip state and the pass must be retried"
+            ),
         }
     }
 }
@@ -86,5 +129,46 @@ mod tests {
     fn error_trait_is_implemented() {
         let e: Box<dyn std::error::Error> = Box::new(FpartError::PageFault { vaddr: 0x40 });
         assert!(e.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn link_retry_display_names_the_budget() {
+        let e = FpartError::LinkRetryExhausted {
+            retries: 8,
+            cycle: 12_345,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("8 replays"), "{msg}");
+        assert!(msg.contains("12345"), "{msg}");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn bram_soft_error_display_names_the_bram() {
+        let e = FpartError::BramSoftError {
+            bram: "histogram",
+            addr: 42,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("histogram"), "{msg}");
+        assert!(msg.contains("42"), "{msg}");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("parity"));
+    }
+
+    #[test]
+    fn new_variants_are_clone_eq() {
+        let a = FpartError::LinkRetryExhausted {
+            retries: 3,
+            cycle: 9,
+        };
+        assert_eq!(a.clone(), a);
+        let b = FpartError::BramSoftError {
+            bram: "fill-rate",
+            addr: 7,
+        };
+        assert_eq!(b.clone(), b);
+        assert_ne!(a, b);
     }
 }

@@ -29,6 +29,7 @@ pub mod error;
 pub mod line;
 pub mod partitioned;
 pub mod relation;
+pub mod rng;
 pub mod tuple;
 
 pub use aligned::AlignedBuf;
@@ -36,4 +37,5 @@ pub use error::{FpartError, Result};
 pub use line::{Line, CACHE_LINE_BYTES};
 pub use partitioned::{PartitionLayout, PartitionedRelation, SharedWriter};
 pub use relation::{ColumnRelation, Relation};
+pub use rng::SplitMix64;
 pub use tuple::{Key, Tuple, Tuple16, Tuple32, Tuple64, Tuple8};

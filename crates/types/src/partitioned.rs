@@ -180,7 +180,10 @@ impl<T: Tuple> PartitionedRelation<T> {
     /// padding that the FPGA flush inserts.
     #[inline]
     pub fn partition_tuples(&self, p: usize) -> impl Iterator<Item = T> + '_ {
-        self.partition_slots(p).iter().copied().filter(|t| !t.is_dummy())
+        self.partition_slots(p)
+            .iter()
+            .copied()
+            .filter(|t| !t.is_dummy())
     }
 
     /// Iterator over all real tuples across all partitions.

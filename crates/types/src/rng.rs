@@ -1,0 +1,173 @@
+//! A small deterministic PRNG shared by data generation, the hardware
+//! simulator's fault injection and the test suites.
+//!
+//! The workspace builds in hermetic environments without third-party
+//! crates, so instead of depending on `rand` we carry the SplitMix64
+//! generator (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014). It is the seeding generator of the
+//! xoshiro/xoroshiro family: a 64-bit state walked with a Weyl sequence
+//! and finalised with an avalanche mix, which passes BigCrush and — more
+//! importantly here — is *reproducible*: the same seed always yields the
+//! same stream on every platform, which is what makes fault plans and
+//! generated workloads deterministic.
+
+/// A seeded SplitMix64 pseudorandom generator.
+///
+/// # Examples
+///
+/// ```
+/// use fpart_types::SplitMix64;
+///
+/// let mut a = SplitMix64::seed_from_u64(42);
+/// let mut b = SplitMix64::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`. Distinct seeds give uncorrelated
+    /// streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly distributed bits (upper half of a 64-bit
+    /// draw, which has the better-mixed bits).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw from `[0, 1)` with the full 53-bit double mantissa.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `0..bound` (`bound > 0`), bias-free via
+    /// Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Widening multiply maps a 64-bit draw onto 0..bound; reject the
+        // small biased region so every value is exactly equally likely.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform index into a collection of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below_u64(n as u64) as usize
+    }
+
+    /// A uniform boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A child generator for an independent sub-stream — the "split"
+    /// operation the algorithm is named for. Deterministic in the parent
+    /// state and `label`, so a [`crate::FpartError`]-free way to derive
+    /// per-component streams from one run seed.
+    pub fn split(&self, label: u64) -> Self {
+        let mut mixer = Self {
+            state: self.state ^ label.rotate_left(17),
+        };
+        let state = mixer.next_u64();
+        Self { state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        let mut c = SplitMix64::seed_from_u64(8);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(123);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = rng.below_u64(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn index_matches_below() {
+        let mut a = SplitMix64::seed_from_u64(9);
+        let mut b = SplitMix64::seed_from_u64(9);
+        for n in [1usize, 2, 10, 1000] {
+            assert_eq!(a.index(n) as u64, b.below_u64(n as u64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_bound_rejected() {
+        SplitMix64::seed_from_u64(0).below_u64(0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let parent = SplitMix64::seed_from_u64(42);
+        let mut a = parent.split(1);
+        let mut b = parent.split(2);
+        let mut a2 = parent.split(1);
+        assert_eq!(a.next_u64(), a2.next_u64());
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // Mean of 100k unit draws must be close to 0.5 (±1%).
+        let mut rng = SplitMix64::seed_from_u64(2024);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

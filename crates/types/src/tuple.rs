@@ -290,7 +290,10 @@ mod tests {
     #[test]
     fn key_round_trips_through_u64() {
         assert_eq!(u32::from_u64(0xdead_beef_u32.to_u64()), 0xdead_beef);
-        assert_eq!(u64::from_u64(0xdead_beef_cafe_u64.to_u64()), 0xdead_beef_cafe);
+        assert_eq!(
+            u64::from_u64(0xdead_beef_cafe_u64.to_u64()),
+            0xdead_beef_cafe
+        );
     }
 
     #[test]

@@ -1,72 +1,92 @@
-//! Property-based invariants of the foundation types.
+//! Property-based invariants of the foundation types, exercised with a
+//! seeded deterministic generator (the workspace carries no third-party
+//! property-testing framework).
 
 use fpart_types::relation::content_checksum;
-use fpart_types::{AlignedBuf, Line, PartitionedRelation, Tuple, Tuple16, Tuple8};
-use proptest::collection::vec;
-use proptest::prelude::*;
+use fpart_types::{AlignedBuf, Line, PartitionedRelation, SplitMix64, Tuple, Tuple16, Tuple8};
 
-proptest! {
-    /// Aligned buffers are always 64-byte aligned and zeroed, for any
-    /// length.
-    #[test]
-    fn aligned_buf_alignment(len in 0usize..4096) {
+/// Aligned buffers are always 64-byte aligned and zeroed, for any length.
+#[test]
+fn aligned_buf_alignment() {
+    let mut rng = SplitMix64::seed_from_u64(0x5459_0001);
+    for _ in 0..32 {
+        let len = rng.below_u64(4096) as usize;
         let buf = AlignedBuf::<Tuple8>::zeroed(len);
-        prop_assert_eq!(buf.len(), len);
+        assert_eq!(buf.len(), len);
         if len > 0 {
-            prop_assert_eq!(buf.as_ptr() as usize % 64, 0);
-            prop_assert!(buf.iter().all(|t| t.key == 0 && t.payload == 0));
+            assert_eq!(buf.as_ptr() as usize % 64, 0);
+            assert!(buf.iter().all(|t| t.key == 0 && t.payload == 0));
         }
     }
+}
 
-    /// Partial lines: the valid prefix round-trips, the tail is dummy.
-    #[test]
-    fn partial_line_round_trip(keys in vec(0u32..u32::MAX - 1, 0..=8)) {
-        let tuples: Vec<Tuple8> = keys.iter().enumerate()
+/// Partial lines: the valid prefix round-trips, the tail is dummy.
+#[test]
+fn partial_line_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x5459_0002);
+    for _ in 0..64 {
+        let n = rng.below_u64(9) as usize;
+        let keys: Vec<u32> = (0..n)
+            .map(|_| rng.below_u64(u32::MAX as u64 - 1) as u32)
+            .collect();
+        let tuples: Vec<Tuple8> = keys
+            .iter()
+            .enumerate()
             .map(|(i, &k)| Tuple8::new(k, i as u64))
             .collect();
         let line = Line::from_partial(&tuples);
-        prop_assert_eq!(line.valid_count(), tuples.len());
+        assert_eq!(line.valid_count(), tuples.len());
         let restored: Vec<Tuple8> = line.valid_tuples().collect();
-        prop_assert_eq!(restored, tuples.clone());
+        assert_eq!(restored, tuples);
         for lane in tuples.len()..Tuple8::LANES {
-            prop_assert!(line.lane(lane).is_dummy());
+            assert!(line.lane(lane).is_dummy());
         }
     }
+}
 
-    /// Histogram layouts: extents partition the allocation exactly, in
-    /// order, with the requested sizes (plus line rounding when asked).
-    #[test]
-    fn histogram_layout_invariants(
-        hist in vec(0usize..200, 1..40),
-        line_align: bool,
-    ) {
+/// Histogram layouts: extents partition the allocation exactly, in order,
+/// with the requested sizes (plus line rounding when asked).
+#[test]
+fn histogram_layout_invariants() {
+    let mut rng = SplitMix64::seed_from_u64(0x5459_0003);
+    for _ in 0..64 {
+        let parts = 1 + rng.below_u64(39) as usize;
+        let hist: Vec<usize> = (0..parts).map(|_| rng.below_u64(200) as usize).collect();
+        let line_align = rng.next_bool();
         let rel = PartitionedRelation::<Tuple16>::with_histogram(&hist, line_align);
-        prop_assert_eq!(rel.num_partitions(), hist.len());
+        assert_eq!(rel.num_partitions(), hist.len());
         let mut expect_base = 0usize;
         for (p, &h) in hist.iter().enumerate() {
-            prop_assert_eq!(rel.partition_base(p), expect_base);
+            assert_eq!(rel.partition_base(p), expect_base);
             let cap = rel.partition_capacity(p);
             if line_align {
-                prop_assert_eq!(cap, h.div_ceil(Tuple16::LANES) * Tuple16::LANES);
+                assert_eq!(cap, h.div_ceil(Tuple16::LANES) * Tuple16::LANES);
             } else {
-                prop_assert_eq!(cap, h);
+                assert_eq!(cap, h);
             }
-            prop_assert!(cap >= h);
+            assert!(cap >= h);
             expect_base += cap;
         }
-        prop_assert_eq!(rel.allocated_slots(), expect_base);
-        prop_assert_eq!(rel.total_valid(), 0, "starts empty");
+        assert_eq!(rel.allocated_slots(), expect_base);
+        assert_eq!(rel.total_valid(), 0, "starts empty");
     }
+}
 
-    /// The content checksum is a multiset invariant: any permutation plus
-    /// any number of interspersed dummies leaves it unchanged.
-    #[test]
-    fn checksum_permutation_invariant(
-        keys in vec(0u32..u32::MAX - 1, 0..200),
-        rotate in 0usize..200,
-        dummies in 0usize..20,
-    ) {
-        let tuples: Vec<Tuple8> = keys.iter().enumerate()
+/// The content checksum is a multiset invariant: any permutation plus any
+/// number of interspersed dummies leaves it unchanged.
+#[test]
+fn checksum_permutation_invariant() {
+    let mut rng = SplitMix64::seed_from_u64(0x5459_0004);
+    for _ in 0..64 {
+        let n = rng.below_u64(200) as usize;
+        let keys: Vec<u32> = (0..n)
+            .map(|_| rng.below_u64(u32::MAX as u64 - 1) as u32)
+            .collect();
+        let rotate = rng.below_u64(200) as usize;
+        let dummies = rng.below_u64(20) as usize;
+        let tuples: Vec<Tuple8> = keys
+            .iter()
+            .enumerate()
             .map(|(i, &k)| Tuple8::new(k, i as u64))
             .collect();
         let mut shuffled = tuples.clone();
@@ -77,21 +97,26 @@ proptest! {
         for _ in 0..dummies {
             shuffled.push(Tuple8::dummy());
         }
-        prop_assert_eq!(
+        assert_eq!(
             content_checksum(tuples.iter().copied()),
             content_checksum(shuffled.iter().copied())
         );
         let (count, _, _) = content_checksum(shuffled.iter().copied());
-        prop_assert_eq!(count as usize, tuples.len(), "dummies not counted");
+        assert_eq!(count as usize, tuples.len(), "dummies not counted");
     }
+}
 
-    /// Padded layouts reject overfill and report padding exactly.
-    #[test]
-    fn padded_fill_accounting(
-        parts in 1usize..16,
-        capacity in 1usize..64,
-        fills in vec((0usize..64, 0usize..64), 0..16),
-    ) {
+/// Padded layouts reject overfill and report padding exactly.
+#[test]
+fn padded_fill_accounting() {
+    let mut rng = SplitMix64::seed_from_u64(0x5459_0005);
+    for _ in 0..64 {
+        let parts = 1 + rng.below_u64(15) as usize;
+        let capacity = 1 + rng.below_u64(63) as usize;
+        let fill_count = rng.below_u64(16) as usize;
+        let fills: Vec<(usize, usize)> = (0..fill_count)
+            .map(|_| (rng.below_u64(64) as usize, rng.below_u64(64) as usize))
+            .collect();
         let mut rel = PartitionedRelation::<Tuple8>::padded(parts, capacity, false);
         let mut written_total = 0usize;
         let mut valid_total = 0usize;
@@ -102,8 +127,8 @@ proptest! {
             written_total += w;
             valid_total += v;
         }
-        prop_assert_eq!(rel.total_written(), written_total);
-        prop_assert_eq!(rel.total_valid(), valid_total);
-        prop_assert_eq!(rel.padding_overhead(), written_total - valid_total);
+        assert_eq!(rel.total_written(), written_total);
+        assert_eq!(rel.total_valid(), valid_total);
+        assert_eq!(rel.padding_overhead(), written_total - valid_total);
     }
 }

@@ -51,7 +51,10 @@ fn main() {
         .map(|(i, &k)| Tuple8::new(k, (i % 1000) as u64)) // amount 0..999
         .collect();
     let fact = Relation::from_tuples(&fact_tuples);
-    println!("fact: {n_fact} rows, dim: {n_dim} rows, {} regions", REGIONS.len());
+    println!(
+        "fact: {n_fact} rows, dim: {n_dim} rows, {} regions",
+        REGIONS.len()
+    );
 
     // --- Join: FPGA partitions both sides (simulated), CPU builds+probes.
     let f = PartitionFn::Murmur { bits };
@@ -66,7 +69,11 @@ fn main() {
     // the recovery flow of Section 5.4.
     let (fact_parts, fact_rep) = match fpga.partition(&fact) {
         Ok(ok) => ok,
-        Err(FpartError::PartitionOverflow { partition, consumed, .. }) => {
+        Err(FpartError::PartitionOverflow {
+            partition,
+            consumed,
+            ..
+        }) => {
             println!(
                 "PAD overflow in partition {partition} after {consumed} fact rows → HIST retry"
             );
@@ -115,7 +122,10 @@ fn main() {
 
     // --- Verify against a direct evaluation.
     let mut expect: HashMap<u32, (u64, u64)> = HashMap::new();
-    let dim_region: HashMap<u32, u64> = dim_tuples.iter().map(|t| (t.key, t.payload as u64)).collect();
+    let dim_region: HashMap<u32, u64> = dim_tuples
+        .iter()
+        .map(|t| (t.key, t.payload as u64))
+        .collect();
     for t in &fact_tuples {
         let region = dim_region[&t.key] as u32;
         let e = expect.entry(region).or_insert((0, 0));

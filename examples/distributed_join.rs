@@ -31,7 +31,10 @@ fn main() {
     for nodes in [1usize, 2, 4, 8, 16] {
         let join = DistributedJoin::new(nodes, 6);
         let (result, report) = join.execute(&r, &s).expect("distributed join");
-        assert_eq!(result.matches, expect_matches, "correctness at {nodes} nodes");
+        assert_eq!(
+            result.matches, expect_matches,
+            "correctness at {nodes} nodes"
+        );
         println!(
             "{:<6} {:>14.5} {:>12.5} {:>12.5} {:>12.5} {:>10.1}",
             nodes,

@@ -73,6 +73,11 @@ fn main() {
     let bp_cpu = join_model.build_probe_seconds(n, n, 8192, 8, 10, false);
     let bp_hybrid = join_model.build_probe_seconds(n, n, 8192, 8, 10, true);
     println!("\nFull-scale prediction on the paper's Xeon+FPGA (10 threads, 8192 partitions):");
-    println!("  CPU join:    {:.3} s partition + {:.3} s build+probe = {:.3} s", cpu_part, bp_cpu, cpu_part + bp_cpu);
+    println!(
+        "  CPU join:    {:.3} s partition + {:.3} s build+probe = {:.3} s",
+        cpu_part,
+        bp_cpu,
+        cpu_part + bp_cpu
+    );
     println!("  Hybrid join: {:.3} s partition + {:.3} s build+probe = {:.3} s (coherence penalty on probe)", fpga_part, bp_hybrid, fpga_part + bp_hybrid);
 }

@@ -16,11 +16,7 @@ fn balance_stats(hist: &[usize]) -> (usize, usize, f64) {
     let min = *hist.iter().min().unwrap();
     let max = *hist.iter().max().unwrap();
     let mean = hist.iter().sum::<usize>() as f64 / hist.len() as f64;
-    let var = hist
-        .iter()
-        .map(|&h| (h as f64 - mean).powi(2))
-        .sum::<f64>()
-        / hist.len() as f64;
+    let var = hist.iter().map(|&h| (h as f64 - mean).powi(2)).sum::<f64>() / hist.len() as f64;
     (min, max, var.sqrt())
 }
 
@@ -31,8 +27,14 @@ fn main() {
         .unwrap_or(1_000_000);
     let bits = 10;
 
-    println!("== Partition balance: radix vs murmur, {n} keys, {} partitions ==", 1 << bits);
-    println!("{:<12} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}", "", "radix min", "max", "σ", "hash min", "max", "σ");
+    println!(
+        "== Partition balance: radix vs murmur, {n} keys, {} partitions ==",
+        1 << bits
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}",
+        "", "radix min", "max", "σ", "hash min", "max", "σ"
+    );
     for dist in KeyDistribution::ALL {
         let keys = dist.generate_keys::<u32>(n, 3);
         let rel = Relation::<Tuple8>::from_keys(&keys);
@@ -51,7 +53,9 @@ fn main() {
             dist.label()
         );
     }
-    println!("(Radix collapses grid-style keys onto few partitions; murmur stays balanced — Figure 3.)");
+    println!(
+        "(Radix collapses grid-style keys onto few partitions; murmur stays balanced — Figure 3.)"
+    );
 
     println!("\n== PAD mode under Zipf skew (Section 5.4) ==");
     let workload = WorkloadId::A.spec();

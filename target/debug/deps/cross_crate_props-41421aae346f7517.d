@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_props-41421aae346f7517.d: crates/core/../../tests/cross_crate_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_props-41421aae346f7517.rmeta: crates/core/../../tests/cross_crate_props.rs Cargo.toml
+
+crates/core/../../tests/cross_crate_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

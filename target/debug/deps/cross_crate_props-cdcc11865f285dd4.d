@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_props-cdcc11865f285dd4.d: crates/core/../../tests/cross_crate_props.rs
+
+/root/repo/target/debug/deps/cross_crate_props-cdcc11865f285dd4: crates/core/../../tests/cross_crate_props.rs
+
+crates/core/../../tests/cross_crate_props.rs:

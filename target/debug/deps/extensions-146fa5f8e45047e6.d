@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-146fa5f8e45047e6.d: crates/core/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-146fa5f8e45047e6: crates/core/../../tests/extensions.rs
+
+crates/core/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-2f6be14ec764f0c7.d: crates/core/../../tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-2f6be14ec764f0c7: crates/core/../../tests/fault_injection.rs
+
+crates/core/../../tests/fault_injection.rs:

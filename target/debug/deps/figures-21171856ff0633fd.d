@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-21171856ff0633fd.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-21171856ff0633fd: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

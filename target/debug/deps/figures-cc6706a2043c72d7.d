@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-cc6706a2043c72d7.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-cc6706a2043c72d7: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fpart-9c05e6a8ccb63b77.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/fpart-9c05e6a8ccb63b77: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fpart-b03d1ca2d1a541b8.d: crates/core/src/lib.rs crates/core/src/partitioner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart-b03d1ca2d1a541b8.rmeta: crates/core/src/lib.rs crates/core/src/partitioner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/partitioner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

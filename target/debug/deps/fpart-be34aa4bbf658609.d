@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fpart-be34aa4bbf658609.d: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+/root/repo/target/debug/deps/fpart-be34aa4bbf658609: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/partitioner.rs:

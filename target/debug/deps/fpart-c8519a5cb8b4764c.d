@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fpart-c8519a5cb8b4764c.d: crates/core/src/lib.rs crates/core/src/partitioner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart-c8519a5cb8b4764c.rmeta: crates/core/src/lib.rs crates/core/src/partitioner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/partitioner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fpart-e6dc81bc5d5ece7e.d: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+/root/repo/target/debug/deps/libfpart-e6dc81bc5d5ece7e.rlib: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+/root/repo/target/debug/deps/libfpart-e6dc81bc5d5ece7e.rmeta: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/partitioner.rs:

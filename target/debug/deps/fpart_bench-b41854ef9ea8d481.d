@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/fpart_bench-b41854ef9ea8d481.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/aggregation.rs crates/bench/src/figures/common.rs crates/bench/src/figures/degradation.rs crates/bench/src/figures/distributed.rs crates/bench/src/figures/fig10_partitions.rs crates/bench/src/figures/fig11_threads.rs crates/bench/src/figures/fig12_distributions.rs crates/bench/src/figures/fig13_skew.rs crates/bench/src/figures/fig2_bandwidth.rs crates/bench/src/figures/fig3_cdf.rs crates/bench/src/figures/fig4_cpu_threads.rs crates/bench/src/figures/fig8_width.rs crates/bench/src/figures/fig9_modes.rs crates/bench/src/figures/selector_scan.rs crates/bench/src/figures/table1_coherence.rs crates/bench/src/figures/table2_resources.rs crates/bench/src/figures/validation.rs crates/bench/src/figures/whatif_future.rs crates/bench/src/scale.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libfpart_bench-b41854ef9ea8d481.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/aggregation.rs crates/bench/src/figures/common.rs crates/bench/src/figures/degradation.rs crates/bench/src/figures/distributed.rs crates/bench/src/figures/fig10_partitions.rs crates/bench/src/figures/fig11_threads.rs crates/bench/src/figures/fig12_distributions.rs crates/bench/src/figures/fig13_skew.rs crates/bench/src/figures/fig2_bandwidth.rs crates/bench/src/figures/fig3_cdf.rs crates/bench/src/figures/fig4_cpu_threads.rs crates/bench/src/figures/fig8_width.rs crates/bench/src/figures/fig9_modes.rs crates/bench/src/figures/selector_scan.rs crates/bench/src/figures/table1_coherence.rs crates/bench/src/figures/table2_resources.rs crates/bench/src/figures/validation.rs crates/bench/src/figures/whatif_future.rs crates/bench/src/scale.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libfpart_bench-b41854ef9ea8d481.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/aggregation.rs crates/bench/src/figures/common.rs crates/bench/src/figures/degradation.rs crates/bench/src/figures/distributed.rs crates/bench/src/figures/fig10_partitions.rs crates/bench/src/figures/fig11_threads.rs crates/bench/src/figures/fig12_distributions.rs crates/bench/src/figures/fig13_skew.rs crates/bench/src/figures/fig2_bandwidth.rs crates/bench/src/figures/fig3_cdf.rs crates/bench/src/figures/fig4_cpu_threads.rs crates/bench/src/figures/fig8_width.rs crates/bench/src/figures/fig9_modes.rs crates/bench/src/figures/selector_scan.rs crates/bench/src/figures/table1_coherence.rs crates/bench/src/figures/table2_resources.rs crates/bench/src/figures/validation.rs crates/bench/src/figures/whatif_future.rs crates/bench/src/scale.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/aggregation.rs:
+crates/bench/src/figures/common.rs:
+crates/bench/src/figures/degradation.rs:
+crates/bench/src/figures/distributed.rs:
+crates/bench/src/figures/fig10_partitions.rs:
+crates/bench/src/figures/fig11_threads.rs:
+crates/bench/src/figures/fig12_distributions.rs:
+crates/bench/src/figures/fig13_skew.rs:
+crates/bench/src/figures/fig2_bandwidth.rs:
+crates/bench/src/figures/fig3_cdf.rs:
+crates/bench/src/figures/fig4_cpu_threads.rs:
+crates/bench/src/figures/fig8_width.rs:
+crates/bench/src/figures/fig9_modes.rs:
+crates/bench/src/figures/selector_scan.rs:
+crates/bench/src/figures/table1_coherence.rs:
+crates/bench/src/figures/table2_resources.rs:
+crates/bench/src/figures/validation.rs:
+crates/bench/src/figures/whatif_future.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fpart_costmodel-0189e5dc537edd1c.d: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_costmodel-0189e5dc537edd1c.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs Cargo.toml
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/cpu.rs:
+crates/costmodel/src/fpga.rs:
+crates/costmodel/src/future.rs:
+crates/costmodel/src/join.rs:
+crates/costmodel/src/overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

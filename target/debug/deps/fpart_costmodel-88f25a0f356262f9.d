@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fpart_costmodel-88f25a0f356262f9.d: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+/root/repo/target/debug/deps/fpart_costmodel-88f25a0f356262f9: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/cpu.rs:
+crates/costmodel/src/fpga.rs:
+crates/costmodel/src/future.rs:
+crates/costmodel/src/join.rs:
+crates/costmodel/src/overlap.rs:

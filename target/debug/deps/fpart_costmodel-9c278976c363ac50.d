@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fpart_costmodel-9c278976c363ac50.d: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+/root/repo/target/debug/deps/libfpart_costmodel-9c278976c363ac50.rlib: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+/root/repo/target/debug/deps/libfpart_costmodel-9c278976c363ac50.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/cpu.rs:
+crates/costmodel/src/fpga.rs:
+crates/costmodel/src/future.rs:
+crates/costmodel/src/join.rs:
+crates/costmodel/src/overlap.rs:

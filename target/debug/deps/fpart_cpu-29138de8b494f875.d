@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fpart_cpu-29138de8b494f875.d: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+/root/repo/target/debug/deps/libfpart_cpu-29138de8b494f875.rlib: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+/root/repo/target/debug/deps/libfpart_cpu-29138de8b494f875.rmeta: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/histogram.rs:
+crates/cpu/src/nt_store.rs:
+crates/cpu/src/parallel.rs:
+crates/cpu/src/range.rs:
+crates/cpu/src/sort.rs:
+crates/cpu/src/strategy.rs:
+crates/cpu/src/swwcb.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fpart_cpu-8b67a27305e8b830.d: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_cpu-8b67a27305e8b830.rmeta: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/histogram.rs:
+crates/cpu/src/nt_store.rs:
+crates/cpu/src/parallel.rs:
+crates/cpu/src/range.rs:
+crates/cpu/src/sort.rs:
+crates/cpu/src/strategy.rs:
+crates/cpu/src/swwcb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fpart_cpu-d3207f0e05c7ee68.d: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+/root/repo/target/debug/deps/fpart_cpu-d3207f0e05c7ee68: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/histogram.rs:
+crates/cpu/src/nt_store.rs:
+crates/cpu/src/parallel.rs:
+crates/cpu/src/range.rs:
+crates/cpu/src/sort.rs:
+crates/cpu/src/strategy.rs:
+crates/cpu/src/swwcb.rs:

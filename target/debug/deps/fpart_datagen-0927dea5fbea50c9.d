@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fpart_datagen-0927dea5fbea50c9.d: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/libfpart_datagen-0927dea5fbea50c9.rlib: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/libfpart_datagen-0927dea5fbea50c9.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dist.rs:
+crates/datagen/src/permute.rs:
+crates/datagen/src/workloads.rs:
+crates/datagen/src/zipf.rs:

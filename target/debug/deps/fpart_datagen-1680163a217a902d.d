@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpart_datagen-1680163a217a902d.d: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/fpart_datagen-1680163a217a902d: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dist.rs:
+crates/datagen/src/permute.rs:
+crates/datagen/src/workloads.rs:
+crates/datagen/src/zipf.rs:

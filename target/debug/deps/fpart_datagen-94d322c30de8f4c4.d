@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fpart_datagen-94d322c30de8f4c4.d: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_datagen-94d322c30de8f4c4.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dist.rs:
+crates/datagen/src/permute.rs:
+crates/datagen/src/workloads.rs:
+crates/datagen/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fpart_fpga-5d46c3a18e5b646e.d: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+/root/repo/target/debug/deps/libfpart_fpga-5d46c3a18e5b646e.rlib: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+/root/repo/target/debug/deps/libfpart_fpga-5d46c3a18e5b646e.rmeta: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/aggcache.rs:
+crates/fpga/src/codec.rs:
+crates/fpga/src/config.rs:
+crates/fpga/src/hashmod.rs:
+crates/fpga/src/partitioner.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/selector.rs:
+crates/fpga/src/writeback.rs:
+crates/fpga/src/writecomb.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fpart_fpga-7426d250369ab86c.d: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+/root/repo/target/debug/deps/fpart_fpga-7426d250369ab86c: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/aggcache.rs:
+crates/fpga/src/codec.rs:
+crates/fpga/src/config.rs:
+crates/fpga/src/hashmod.rs:
+crates/fpga/src/partitioner.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/selector.rs:
+crates/fpga/src/writeback.rs:
+crates/fpga/src/writecomb.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fpart_fpga-faff6c2d6c631e8f.d: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_fpga-faff6c2d6c631e8f.rmeta: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs Cargo.toml
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/aggcache.rs:
+crates/fpga/src/codec.rs:
+crates/fpga/src/config.rs:
+crates/fpga/src/hashmod.rs:
+crates/fpga/src/partitioner.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/selector.rs:
+crates/fpga/src/writeback.rs:
+crates/fpga/src/writecomb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fpart_hash-5dcfbd42c67c63fa.d: crates/hash/src/lib.rs
+
+/root/repo/target/debug/deps/libfpart_hash-5dcfbd42c67c63fa.rlib: crates/hash/src/lib.rs
+
+/root/repo/target/debug/deps/libfpart_hash-5dcfbd42c67c63fa.rmeta: crates/hash/src/lib.rs
+
+crates/hash/src/lib.rs:

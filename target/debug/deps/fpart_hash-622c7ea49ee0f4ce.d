@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fpart_hash-622c7ea49ee0f4ce.d: crates/hash/src/lib.rs
+
+/root/repo/target/debug/deps/fpart_hash-622c7ea49ee0f4ce: crates/hash/src/lib.rs
+
+crates/hash/src/lib.rs:

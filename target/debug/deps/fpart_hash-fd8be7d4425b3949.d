@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpart_hash-fd8be7d4425b3949.d: crates/hash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_hash-fd8be7d4425b3949.rmeta: crates/hash/src/lib.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fpart_hwsim-03d45bf28c4287d9.d: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+/root/repo/target/debug/deps/libfpart_hwsim-03d45bf28c4287d9.rlib: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+/root/repo/target/debug/deps/libfpart_hwsim-03d45bf28c4287d9.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/bram.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/fault.rs:
+crates/hwsim/src/fifo.rs:
+crates/hwsim/src/pagetable.rs:
+crates/hwsim/src/qpi.rs:

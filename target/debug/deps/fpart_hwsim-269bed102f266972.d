@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fpart_hwsim-269bed102f266972.d: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+/root/repo/target/debug/deps/fpart_hwsim-269bed102f266972: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/bram.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/fault.rs:
+crates/hwsim/src/fifo.rs:
+crates/hwsim/src/pagetable.rs:
+crates/hwsim/src/qpi.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fpart_hwsim-9dc5030c550086cf.d: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_hwsim-9dc5030c550086cf.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs Cargo.toml
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/bram.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/fault.rs:
+crates/hwsim/src/fifo.rs:
+crates/hwsim/src/pagetable.rs:
+crates/hwsim/src/qpi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

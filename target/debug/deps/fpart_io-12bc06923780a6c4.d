@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fpart_io-12bc06923780a6c4.d: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_io-12bc06923780a6c4.rmeta: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs Cargo.toml
+
+crates/io/src/lib.rs:
+crates/io/src/binary.rs:
+crates/io/src/csv.rs:
+crates/io/src/partitioned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fpart_io-7739e2ca843079b8.d: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+/root/repo/target/debug/deps/libfpart_io-7739e2ca843079b8.rlib: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+/root/repo/target/debug/deps/libfpart_io-7739e2ca843079b8.rmeta: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+crates/io/src/lib.rs:
+crates/io/src/binary.rs:
+crates/io/src/csv.rs:
+crates/io/src/partitioned.rs:

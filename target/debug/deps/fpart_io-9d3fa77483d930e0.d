@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fpart_io-9d3fa77483d930e0.d: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+/root/repo/target/debug/deps/fpart_io-9d3fa77483d930e0: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+crates/io/src/lib.rs:
+crates/io/src/binary.rs:
+crates/io/src/csv.rs:
+crates/io/src/partitioned.rs:

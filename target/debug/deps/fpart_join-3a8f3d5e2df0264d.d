@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fpart_join-3a8f3d5e2df0264d.d: crates/join/src/lib.rs crates/join/src/aggregate.rs crates/join/src/buildprobe.rs crates/join/src/fallback.rs crates/join/src/hashtable.rs crates/join/src/hybrid.rs crates/join/src/materialize.rs crates/join/src/nopart.rs crates/join/src/planner.rs crates/join/src/radix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_join-3a8f3d5e2df0264d.rmeta: crates/join/src/lib.rs crates/join/src/aggregate.rs crates/join/src/buildprobe.rs crates/join/src/fallback.rs crates/join/src/hashtable.rs crates/join/src/hybrid.rs crates/join/src/materialize.rs crates/join/src/nopart.rs crates/join/src/planner.rs crates/join/src/radix.rs Cargo.toml
+
+crates/join/src/lib.rs:
+crates/join/src/aggregate.rs:
+crates/join/src/buildprobe.rs:
+crates/join/src/fallback.rs:
+crates/join/src/hashtable.rs:
+crates/join/src/hybrid.rs:
+crates/join/src/materialize.rs:
+crates/join/src/nopart.rs:
+crates/join/src/planner.rs:
+crates/join/src/radix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fpart_join-c10bc0710e33b737.d: crates/join/src/lib.rs crates/join/src/aggregate.rs crates/join/src/buildprobe.rs crates/join/src/fallback.rs crates/join/src/hashtable.rs crates/join/src/hybrid.rs crates/join/src/materialize.rs crates/join/src/nopart.rs crates/join/src/planner.rs crates/join/src/radix.rs
+
+/root/repo/target/debug/deps/fpart_join-c10bc0710e33b737: crates/join/src/lib.rs crates/join/src/aggregate.rs crates/join/src/buildprobe.rs crates/join/src/fallback.rs crates/join/src/hashtable.rs crates/join/src/hybrid.rs crates/join/src/materialize.rs crates/join/src/nopart.rs crates/join/src/planner.rs crates/join/src/radix.rs
+
+crates/join/src/lib.rs:
+crates/join/src/aggregate.rs:
+crates/join/src/buildprobe.rs:
+crates/join/src/fallback.rs:
+crates/join/src/hashtable.rs:
+crates/join/src/hybrid.rs:
+crates/join/src/materialize.rs:
+crates/join/src/nopart.rs:
+crates/join/src/planner.rs:
+crates/join/src/radix.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fpart_memmodel-16cc08df0f0c0bde.d: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_memmodel-16cc08df0f0c0bde.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs Cargo.toml
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bandwidth.rs:
+crates/memmodel/src/coherence.rs:
+crates/memmodel/src/platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fpart_memmodel-8822473584b3ebf0.d: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+/root/repo/target/debug/deps/libfpart_memmodel-8822473584b3ebf0.rlib: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+/root/repo/target/debug/deps/libfpart_memmodel-8822473584b3ebf0.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bandwidth.rs:
+crates/memmodel/src/coherence.rs:
+crates/memmodel/src/platform.rs:

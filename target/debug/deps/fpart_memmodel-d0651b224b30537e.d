@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fpart_memmodel-d0651b224b30537e.d: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+/root/repo/target/debug/deps/fpart_memmodel-d0651b224b30537e: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bandwidth.rs:
+crates/memmodel/src/coherence.rs:
+crates/memmodel/src/platform.rs:

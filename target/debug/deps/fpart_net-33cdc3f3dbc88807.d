@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fpart_net-33cdc3f3dbc88807.d: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_net-33cdc3f3dbc88807.rmeta: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/dist_join.rs:
+crates/net/src/exchange.rs:
+crates/net/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fpart_net-534b8f900be36f3b.d: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+/root/repo/target/debug/deps/fpart_net-534b8f900be36f3b: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dist_join.rs:
+crates/net/src/exchange.rs:
+crates/net/src/network.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fpart_net-8f7d0db1ccbcb111.d: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+/root/repo/target/debug/deps/libfpart_net-8f7d0db1ccbcb111.rlib: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+/root/repo/target/debug/deps/libfpart_net-8f7d0db1ccbcb111.rmeta: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dist_join.rs:
+crates/net/src/exchange.rs:
+crates/net/src/network.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fpart_types-44f682102a0e0446.d: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+/root/repo/target/debug/deps/fpart_types-44f682102a0e0446: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+crates/types/src/lib.rs:
+crates/types/src/aligned.rs:
+crates/types/src/error.rs:
+crates/types/src/line.rs:
+crates/types/src/partitioned.rs:
+crates/types/src/relation.rs:
+crates/types/src/rng.rs:
+crates/types/src/tuple.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fpart_types-625a5c6190a4fd6f.d: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpart_types-625a5c6190a4fd6f.rmeta: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/aligned.rs:
+crates/types/src/error.rs:
+crates/types/src/line.rs:
+crates/types/src/partitioned.rs:
+crates/types/src/relation.rs:
+crates/types/src/rng.rs:
+crates/types/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

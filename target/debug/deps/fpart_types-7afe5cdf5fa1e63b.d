@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fpart_types-7afe5cdf5fa1e63b.d: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+/root/repo/target/debug/deps/libfpart_types-7afe5cdf5fa1e63b.rlib: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+/root/repo/target/debug/deps/libfpart_types-7afe5cdf5fa1e63b.rmeta: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+crates/types/src/lib.rs:
+crates/types/src/aligned.rs:
+crates/types/src/error.rs:
+crates/types/src/line.rs:
+crates/types/src/partitioned.rs:
+crates/types/src/relation.rs:
+crates/types/src/rng.rs:
+crates/types/src/tuple.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mode_equivalence-47d28ae17e77c68b.d: crates/core/../../tests/mode_equivalence.rs
+
+/root/repo/target/debug/deps/mode_equivalence-47d28ae17e77c68b: crates/core/../../tests/mode_equivalence.rs
+
+crates/core/../../tests/mode_equivalence.rs:

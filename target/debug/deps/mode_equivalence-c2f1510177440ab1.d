@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mode_equivalence-c2f1510177440ab1.d: crates/core/../../tests/mode_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmode_equivalence-c2f1510177440ab1.rmeta: crates/core/../../tests/mode_equivalence.rs Cargo.toml
+
+crates/core/../../tests/mode_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

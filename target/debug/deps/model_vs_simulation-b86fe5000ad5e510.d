@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_vs_simulation-b86fe5000ad5e510.d: crates/core/../../tests/model_vs_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_vs_simulation-b86fe5000ad5e510.rmeta: crates/core/../../tests/model_vs_simulation.rs Cargo.toml
+
+crates/core/../../tests/model_vs_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_vs_simulation-efe70dce28627fd2.d: crates/core/../../tests/model_vs_simulation.rs
+
+/root/repo/target/debug/deps/model_vs_simulation-efe70dce28627fd2: crates/core/../../tests/model_vs_simulation.rs
+
+crates/core/../../tests/model_vs_simulation.rs:

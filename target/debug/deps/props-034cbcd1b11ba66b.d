@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-034cbcd1b11ba66b.d: crates/fpga/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-034cbcd1b11ba66b.rmeta: crates/fpga/tests/props.rs Cargo.toml
+
+crates/fpga/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-26fbc1257da93edb.d: crates/fpga/tests/props.rs
+
+/root/repo/target/debug/deps/props-26fbc1257da93edb: crates/fpga/tests/props.rs
+
+crates/fpga/tests/props.rs:

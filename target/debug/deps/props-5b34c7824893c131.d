@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-5b34c7824893c131.d: crates/hwsim/tests/props.rs
+
+/root/repo/target/debug/deps/props-5b34c7824893c131: crates/hwsim/tests/props.rs
+
+crates/hwsim/tests/props.rs:

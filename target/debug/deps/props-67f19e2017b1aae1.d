@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-67f19e2017b1aae1.d: crates/types/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-67f19e2017b1aae1.rmeta: crates/types/tests/props.rs Cargo.toml
+
+crates/types/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-ab6b3d41a97166e2.d: crates/hwsim/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-ab6b3d41a97166e2.rmeta: crates/hwsim/tests/props.rs Cargo.toml
+
+crates/hwsim/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-ea91eee3630c39c3.d: crates/types/tests/props.rs
+
+/root/repo/target/debug/deps/props-ea91eee3630c39c3: crates/types/tests/props.rs
+
+crates/types/tests/props.rs:

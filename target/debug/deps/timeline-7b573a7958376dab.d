@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-7b573a7958376dab.d: crates/fpga/tests/timeline.rs
+
+/root/repo/target/debug/deps/timeline-7b573a7958376dab: crates/fpga/tests/timeline.rs
+
+crates/fpga/tests/timeline.rs:

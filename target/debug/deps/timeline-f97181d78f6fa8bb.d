@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeline-f97181d78f6fa8bb.d: crates/fpga/tests/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeline-f97181d78f6fa8bb.rmeta: crates/fpga/tests/timeline.rs Cargo.toml
+
+crates/fpga/tests/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

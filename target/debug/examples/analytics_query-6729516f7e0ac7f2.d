@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analytics_query-6729516f7e0ac7f2.d: crates/core/../../examples/analytics_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalytics_query-6729516f7e0ac7f2.rmeta: crates/core/../../examples/analytics_query.rs Cargo.toml
+
+crates/core/../../examples/analytics_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

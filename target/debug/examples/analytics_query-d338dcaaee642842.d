@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics_query-d338dcaaee642842.d: crates/core/../../examples/analytics_query.rs
+
+/root/repo/target/debug/examples/analytics_query-d338dcaaee642842: crates/core/../../examples/analytics_query.rs
+
+crates/core/../../examples/analytics_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/column_store_vrid-49aea3a70ee6881e.d: crates/core/../../examples/column_store_vrid.rs
+
+/root/repo/target/debug/examples/column_store_vrid-49aea3a70ee6881e: crates/core/../../examples/column_store_vrid.rs
+
+crates/core/../../examples/column_store_vrid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/column_store_vrid-961fb92d6d8e6ced.d: crates/core/../../examples/column_store_vrid.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolumn_store_vrid-961fb92d6d8e6ced.rmeta: crates/core/../../examples/column_store_vrid.rs Cargo.toml
+
+crates/core/../../examples/column_store_vrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

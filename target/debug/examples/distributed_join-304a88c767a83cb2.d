@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_join-304a88c767a83cb2.d: crates/core/../../examples/distributed_join.rs
+
+/root/repo/target/debug/examples/distributed_join-304a88c767a83cb2: crates/core/../../examples/distributed_join.rs
+
+crates/core/../../examples/distributed_join.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_join-b3954608460b010e.d: crates/core/../../examples/distributed_join.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_join-b3954608460b010e.rmeta: crates/core/../../examples/distributed_join.rs Cargo.toml
+
+crates/core/../../examples/distributed_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

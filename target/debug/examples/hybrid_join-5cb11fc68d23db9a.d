@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_join-5cb11fc68d23db9a.d: crates/core/../../examples/hybrid_join.rs
+
+/root/repo/target/debug/examples/hybrid_join-5cb11fc68d23db9a: crates/core/../../examples/hybrid_join.rs
+
+crates/core/../../examples/hybrid_join.rs:

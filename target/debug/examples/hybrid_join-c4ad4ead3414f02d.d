@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_join-c4ad4ead3414f02d.d: crates/core/../../examples/hybrid_join.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_join-c4ad4ead3414f02d.rmeta: crates/core/../../examples/hybrid_join.rs Cargo.toml
+
+crates/core/../../examples/hybrid_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef6acae8e838aec0.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ef6acae8e838aec0: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

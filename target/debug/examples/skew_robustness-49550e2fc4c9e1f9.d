@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skew_robustness-49550e2fc4c9e1f9.d: crates/core/../../examples/skew_robustness.rs
+
+/root/repo/target/debug/examples/skew_robustness-49550e2fc4c9e1f9: crates/core/../../examples/skew_robustness.rs
+
+crates/core/../../examples/skew_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/skew_robustness-50421ec7a759b2aa.d: crates/core/../../examples/skew_robustness.rs Cargo.toml
+
+/root/repo/target/debug/examples/libskew_robustness-50421ec7a759b2aa.rmeta: crates/core/../../examples/skew_robustness.rs Cargo.toml
+
+crates/core/../../examples/skew_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f0588dca4c049b17.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f0588dca4c049b17: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

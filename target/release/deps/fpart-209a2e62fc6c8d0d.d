@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fpart-209a2e62fc6c8d0d.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/fpart-209a2e62fc6c8d0d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fpart-d7e9f7ec942c06de.d: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+/root/repo/target/release/deps/libfpart-d7e9f7ec942c06de.rlib: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+/root/repo/target/release/deps/libfpart-d7e9f7ec942c06de.rmeta: crates/core/src/lib.rs crates/core/src/partitioner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/partitioner.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fpart_costmodel-c856889ee5cf07c0.d: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+/root/repo/target/release/deps/libfpart_costmodel-c856889ee5cf07c0.rlib: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+/root/repo/target/release/deps/libfpart_costmodel-c856889ee5cf07c0.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/cpu.rs crates/costmodel/src/fpga.rs crates/costmodel/src/future.rs crates/costmodel/src/join.rs crates/costmodel/src/overlap.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/cpu.rs:
+crates/costmodel/src/fpga.rs:
+crates/costmodel/src/future.rs:
+crates/costmodel/src/join.rs:
+crates/costmodel/src/overlap.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fpart_cpu-5ff6601ee218843d.d: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+/root/repo/target/release/deps/libfpart_cpu-5ff6601ee218843d.rlib: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+/root/repo/target/release/deps/libfpart_cpu-5ff6601ee218843d.rmeta: crates/cpu/src/lib.rs crates/cpu/src/histogram.rs crates/cpu/src/nt_store.rs crates/cpu/src/parallel.rs crates/cpu/src/range.rs crates/cpu/src/sort.rs crates/cpu/src/strategy.rs crates/cpu/src/swwcb.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/histogram.rs:
+crates/cpu/src/nt_store.rs:
+crates/cpu/src/parallel.rs:
+crates/cpu/src/range.rs:
+crates/cpu/src/sort.rs:
+crates/cpu/src/strategy.rs:
+crates/cpu/src/swwcb.rs:

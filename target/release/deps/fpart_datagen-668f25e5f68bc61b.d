@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fpart_datagen-668f25e5f68bc61b.d: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libfpart_datagen-668f25e5f68bc61b.rlib: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libfpart_datagen-668f25e5f68bc61b.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dist.rs crates/datagen/src/permute.rs crates/datagen/src/workloads.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dist.rs:
+crates/datagen/src/permute.rs:
+crates/datagen/src/workloads.rs:
+crates/datagen/src/zipf.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fpart_fpga-3d0424b35bf1e09a.d: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+/root/repo/target/release/deps/libfpart_fpga-3d0424b35bf1e09a.rlib: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+/root/repo/target/release/deps/libfpart_fpga-3d0424b35bf1e09a.rmeta: crates/fpga/src/lib.rs crates/fpga/src/aggcache.rs crates/fpga/src/codec.rs crates/fpga/src/config.rs crates/fpga/src/hashmod.rs crates/fpga/src/partitioner.rs crates/fpga/src/resources.rs crates/fpga/src/selector.rs crates/fpga/src/writeback.rs crates/fpga/src/writecomb.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/aggcache.rs:
+crates/fpga/src/codec.rs:
+crates/fpga/src/config.rs:
+crates/fpga/src/hashmod.rs:
+crates/fpga/src/partitioner.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/selector.rs:
+crates/fpga/src/writeback.rs:
+crates/fpga/src/writecomb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fpart_hash-2a730c84069141cb.d: crates/hash/src/lib.rs
+
+/root/repo/target/release/deps/libfpart_hash-2a730c84069141cb.rlib: crates/hash/src/lib.rs
+
+/root/repo/target/release/deps/libfpart_hash-2a730c84069141cb.rmeta: crates/hash/src/lib.rs
+
+crates/hash/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fpart_hwsim-b9e7ae2ebb6b8823.d: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+/root/repo/target/release/deps/libfpart_hwsim-b9e7ae2ebb6b8823.rlib: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+/root/repo/target/release/deps/libfpart_hwsim-b9e7ae2ebb6b8823.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/bram.rs crates/hwsim/src/cache.rs crates/hwsim/src/fault.rs crates/hwsim/src/fifo.rs crates/hwsim/src/pagetable.rs crates/hwsim/src/qpi.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/bram.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/fault.rs:
+crates/hwsim/src/fifo.rs:
+crates/hwsim/src/pagetable.rs:
+crates/hwsim/src/qpi.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fpart_io-730f927796fefeeb.d: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+/root/repo/target/release/deps/libfpart_io-730f927796fefeeb.rlib: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+/root/repo/target/release/deps/libfpart_io-730f927796fefeeb.rmeta: crates/io/src/lib.rs crates/io/src/binary.rs crates/io/src/csv.rs crates/io/src/partitioned.rs
+
+crates/io/src/lib.rs:
+crates/io/src/binary.rs:
+crates/io/src/csv.rs:
+crates/io/src/partitioned.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fpart_join-4c9b089270664b14.d: crates/join/src/lib.rs crates/join/src/aggregate.rs crates/join/src/buildprobe.rs crates/join/src/fallback.rs crates/join/src/hashtable.rs crates/join/src/hybrid.rs crates/join/src/materialize.rs crates/join/src/nopart.rs crates/join/src/planner.rs crates/join/src/radix.rs
+
+/root/repo/target/release/deps/libfpart_join-4c9b089270664b14.rlib: crates/join/src/lib.rs crates/join/src/aggregate.rs crates/join/src/buildprobe.rs crates/join/src/fallback.rs crates/join/src/hashtable.rs crates/join/src/hybrid.rs crates/join/src/materialize.rs crates/join/src/nopart.rs crates/join/src/planner.rs crates/join/src/radix.rs
+
+/root/repo/target/release/deps/libfpart_join-4c9b089270664b14.rmeta: crates/join/src/lib.rs crates/join/src/aggregate.rs crates/join/src/buildprobe.rs crates/join/src/fallback.rs crates/join/src/hashtable.rs crates/join/src/hybrid.rs crates/join/src/materialize.rs crates/join/src/nopart.rs crates/join/src/planner.rs crates/join/src/radix.rs
+
+crates/join/src/lib.rs:
+crates/join/src/aggregate.rs:
+crates/join/src/buildprobe.rs:
+crates/join/src/fallback.rs:
+crates/join/src/hashtable.rs:
+crates/join/src/hybrid.rs:
+crates/join/src/materialize.rs:
+crates/join/src/nopart.rs:
+crates/join/src/planner.rs:
+crates/join/src/radix.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fpart_memmodel-ee1f5fc313069cca.d: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+/root/repo/target/release/deps/libfpart_memmodel-ee1f5fc313069cca.rlib: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+/root/repo/target/release/deps/libfpart_memmodel-ee1f5fc313069cca.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/bandwidth.rs crates/memmodel/src/coherence.rs crates/memmodel/src/platform.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bandwidth.rs:
+crates/memmodel/src/coherence.rs:
+crates/memmodel/src/platform.rs:

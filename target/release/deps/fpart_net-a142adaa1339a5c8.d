@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fpart_net-a142adaa1339a5c8.d: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+/root/repo/target/release/deps/libfpart_net-a142adaa1339a5c8.rlib: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+/root/repo/target/release/deps/libfpart_net-a142adaa1339a5c8.rmeta: crates/net/src/lib.rs crates/net/src/dist_join.rs crates/net/src/exchange.rs crates/net/src/network.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dist_join.rs:
+crates/net/src/exchange.rs:
+crates/net/src/network.rs:

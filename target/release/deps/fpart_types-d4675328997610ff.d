@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fpart_types-d4675328997610ff.d: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+/root/repo/target/release/deps/libfpart_types-d4675328997610ff.rlib: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+/root/repo/target/release/deps/libfpart_types-d4675328997610ff.rmeta: crates/types/src/lib.rs crates/types/src/aligned.rs crates/types/src/error.rs crates/types/src/line.rs crates/types/src/partitioned.rs crates/types/src/relation.rs crates/types/src/rng.rs crates/types/src/tuple.rs
+
+crates/types/src/lib.rs:
+crates/types/src/aligned.rs:
+crates/types/src/error.rs:
+crates/types/src/line.rs:
+crates/types/src/partitioned.rs:
+crates/types/src/relation.rs:
+crates/types/src/rng.rs:
+crates/types/src/tuple.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/skew_robustness-4dd903759522e9c6.d: crates/core/../../examples/skew_robustness.rs
+
+/root/repo/target/release/examples/skew_robustness-4dd903759522e9c6: crates/core/../../examples/skew_robustness.rs
+
+crates/core/../../examples/skew_robustness.rs:

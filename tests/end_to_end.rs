@@ -16,7 +16,11 @@ fn check_workload(id: WorkloadId) {
 
     // CPU radix join.
     let (cpu, _) = CpuRadixJoin::new(f, 2).execute(&r, &s);
-    assert_eq!((cpu.matches, cpu.checksum), (expect_m, expect_c), "{id:?} CPU");
+    assert_eq!(
+        (cpu.matches, cpu.checksum),
+        (expect_m, expect_c),
+        "{id:?} CPU"
+    );
 
     // Hybrid join, PAD and HIST.
     for output in [OutputMode::pad_default(), OutputMode::Hist] {
@@ -35,7 +39,11 @@ fn check_workload(id: WorkloadId) {
 
     // Non-partitioned baseline.
     let (nopart, _) = no_partition_join(&r, &s, 2);
-    assert_eq!((nopart.matches, nopart.checksum), (expect_m, expect_c), "{id:?} nopart");
+    assert_eq!(
+        (nopart.matches, nopart.checksum),
+        (expect_m, expect_c),
+        "{id:?} nopart"
+    );
 }
 
 #[test]

@@ -31,7 +31,10 @@ fn operator_stack_consistency() {
     let concatenated: Vec<u32> = (0..parts.num_partitions())
         .flat_map(|p| parts.partition_tuples(p).map(|t| t.key).collect::<Vec<_>>())
         .collect();
-    assert_eq!(concatenated, lsd_keys, "range partitions of sorted input concatenate sorted");
+    assert_eq!(
+        concatenated, lsd_keys,
+        "range partitions of sorted input concatenate sorted"
+    );
 
     // Selection on the simulated circuit agrees with a scan.
     let median = lsd_keys[lsd_keys.len() / 2];
@@ -124,7 +127,10 @@ fn persisted_partitions_join_identically() {
     let p = fpart::fpga::FpgaPartitioner::new(config);
     let (rp, _) = p.partition(&r).unwrap();
     let (sp, _) = p.partition(&s).unwrap();
-    assert!(rp.padding_overhead() > 0, "FPGA output carries flush padding");
+    assert!(
+        rp.padding_overhead() > 0,
+        "FPGA output carries flush padding"
+    );
 
     let dir = std::env::temp_dir();
     let r_path = dir.join(format!("fpart_ext_r_{}.fprp", std::process::id()));

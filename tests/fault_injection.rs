@@ -1,0 +1,185 @@
+//! End-to-end tests of the fault-injection subsystem and the
+//! PAD → HIST → CPU graceful-degradation chain, including the
+//! acceptance scenario: a fault plan that forces a PAD overflow halfway
+//! through the input must complete via the HIST (or CPU) path with a
+//! histogram identical to a fault-free CPU run, and the same plan must
+//! reproduce the identical degradation report twice.
+
+use fpart::fpga::{FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig};
+use fpart::hwsim::{Fault, FaultPlan, FaultSpec};
+use fpart::join::fallback::{AttemptPath, AttemptRecord, DegradationReport, EscalationChain};
+use fpart::join::hybrid::FallbackPolicy;
+use fpart::prelude::*;
+use fpart::types::SplitMix64;
+use fpart_datagen::dist::{foreign_keys, zipf_foreign_keys, KeyDistribution};
+
+fn pad_cfg(bits: u32, pad: usize) -> PartitionerConfig {
+    PartitionerConfig {
+        partition_fn: PartitionFn::Murmur { bits },
+        output: OutputMode::Pad {
+            padding: PaddingSpec::Tuples(pad),
+        },
+        input: InputMode::Rid,
+        fifo_capacity: 64,
+        out_fifo_capacity: 8,
+    }
+}
+
+/// Comparable essence of a degradation report (the report type itself
+/// carries wall-clock CPU timings, which never reproduce exactly).
+fn report_fingerprint(r: &DegradationReport) -> Vec<(AttemptPath, Option<String>, u64)> {
+    r.attempts
+        .iter()
+        .map(|a: &AttemptRecord| {
+            (
+                a.path,
+                a.error.as_ref().map(|e| format!("{e:?}")),
+                a.wasted_cycles,
+            )
+        })
+        .collect()
+}
+
+/// Property: a Zipf-skewed relation driven through the full chain always
+/// yields a histogram identical to a direct CPU run, regardless of which
+/// path completes the request.
+#[test]
+fn zipf_chain_histogram_equals_cpu() {
+    let mut rng = SplitMix64::seed_from_u64(0xFA17_0001);
+    for _ in 0..12 {
+        let bits = 3 + rng.below_u64(4) as u32;
+        let factor = 0.75 + rng.next_f64() * 1.25; // Zipf 0.75..2.0
+        let n = 1500 + rng.below_u64(3000) as usize;
+        let pad = rng.below_u64(8) as usize;
+        let seed = rng.next_u64();
+
+        let r_keys: Vec<u32> = KeyDistribution::Random.generate_keys(512, seed);
+        let keys = zipf_foreign_keys(&r_keys, n, factor, seed ^ 0x5a5a);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+
+        let f = PartitionFn::Murmur { bits };
+        let fpga = FpgaPartitioner::new(pad_cfg(bits, pad));
+        let chain = EscalationChain::new(2);
+        let (parts, report) = chain.run(&fpga, &rel).unwrap();
+
+        let (cpu_parts, _) = CpuPartitioner::new(f, 2).partition(&rel);
+        assert_eq!(
+            parts.histogram(),
+            cpu_parts.histogram(),
+            "chain ended on {:?} with factor {factor:.2}",
+            report.final_path()
+        );
+        assert_eq!(parts.total_valid(), n);
+    }
+}
+
+/// `FallbackPolicy::Fail` propagates the overflow unchanged — same
+/// variant, same fields — with no hidden retry.
+#[test]
+fn fail_policy_propagates_overflow_unchanged() {
+    let keys = vec![42u32; 4096]; // full skew, zero padding → overflow
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let fpga = FpgaPartitioner::new(pad_cfg(6, 0));
+
+    // Reference: the raw error from a bare run.
+    let direct_err = fpga.partition(&rel).unwrap_err();
+    assert!(matches!(direct_err, FpartError::PartitionOverflow { .. }));
+
+    let chain = EscalationChain::from_policy(FallbackPolicy::Fail, 2);
+    let chained_err = chain.run(&fpga, &rel).unwrap_err();
+    assert_eq!(chained_err, direct_err, "Fail must not transform the error");
+}
+
+/// The acceptance scenario: force a PAD overflow at 50% of consumed
+/// tuples, run through `Partitioner::partition_with_fallback`, and check
+/// path, histogram and report reproducibility.
+#[test]
+fn injected_midpoint_overflow_degrades_and_reproduces() {
+    let n = 8192usize;
+    let keys: Vec<u32> = KeyDistribution::Random.generate_keys(n, 77);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let f = PartitionFn::Murmur { bits: 5 };
+
+    // Fault-free CPU reference.
+    let (cpu_parts, _) = CpuPartitioner::new(f, 2).partition(&rel);
+
+    let plan = FaultPlan::new().with(Fault::PadOverflow {
+        consumed: n as u64 / 2,
+    });
+    let run = || {
+        let p = Partitioner::Fpga(FpgaPartitioner::new(pad_cfg(5, 64)).with_faults(plan.clone()));
+        p.partition_with_fallback(&rel, &EscalationChain::new(2))
+            .unwrap()
+    };
+
+    let (parts, report) = run();
+    // The request completed via the HIST retry (the PAD overflow does not
+    // reoccur in HIST mode) — or via the CPU if HIST also degraded.
+    assert!(report.degraded(), "the injected overflow must abort PAD");
+    assert_eq!(report.attempts[0].path, AttemptPath::Pad);
+    assert!(matches!(
+        report.final_path(),
+        AttemptPath::Hist | AttemptPath::Cpu
+    ));
+    assert_eq!(report.final_path(), AttemptPath::Hist);
+
+    // Output histogram equals the fault-free CPU run.
+    assert_eq!(parts.histogram(), cpu_parts.histogram());
+    assert_eq!(parts.total_valid(), n);
+
+    // The report records the abort point (at or shortly after 50%).
+    let points = report.abort_points();
+    assert_eq!(points.len(), 1);
+    assert!(
+        points[0] >= n as u64 / 2 && points[0] < n as u64 / 2 + 64,
+        "abort detected at {} of {n}",
+        points[0]
+    );
+    assert!(report.wasted_cycles() > 0);
+    assert!(matches!(
+        report.first_error(),
+        Some(FpartError::PartitionOverflow { .. })
+    ));
+
+    // Same plan, same input → the identical report, field for field.
+    let (_, report2) = run();
+    assert_eq!(report_fingerprint(&report), report_fingerprint(&report2));
+}
+
+/// Seeded fault campaigns reproduce end to end: the same
+/// `FaultPlan::from_seed` against the same relation yields identical
+/// outcomes and identical link/retry counters.
+#[test]
+fn seeded_campaign_is_reproducible() {
+    let keys: Vec<u32> = foreign_keys(
+        &KeyDistribution::Random.generate_keys::<u32>(256, 5),
+        4096,
+        6,
+    );
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let spec = FaultSpec {
+        qpi_transients_per_pass: 3,
+        pagetable_transients: 2,
+        ..FaultSpec::default()
+    };
+
+    for seed in [1u64, 99, 0xFA17] {
+        let outcome = |()| {
+            let plan = FaultPlan::from_seed(seed, &spec);
+            FpgaPartitioner::new(pad_cfg(4, 512))
+                .with_faults(plan)
+                .partition(&rel)
+                .map(|(parts, rep)| {
+                    (
+                        parts.histogram().to_vec(),
+                        rep.qpi.link_errors,
+                        rep.qpi.link_replays,
+                        rep.qpi.replay_stall_cycles,
+                        rep.pt_retries,
+                        rep.total_cycles(),
+                    )
+                })
+        };
+        assert_eq!(outcome(()), outcome(()), "seed {seed} must reproduce");
+    }
+}

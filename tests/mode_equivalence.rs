@@ -28,7 +28,10 @@ fn all_backends_same_partition_contents() {
     let mut results = Vec::new();
     for (label, p) in [
         ("cpu-swwcb", Partitioner::cpu(f, 2)),
-        ("cpu-scalar", Partitioner::cpu_with_strategy(f, 2, Strategy::Scalar)),
+        (
+            "cpu-scalar",
+            Partitioner::cpu_with_strategy(f, 2, Strategy::Scalar),
+        ),
         (
             "cpu-two-pass",
             Partitioner::cpu_with_strategy(f, 1, Strategy::TwoPass { first_bits: 2 }),
@@ -69,7 +72,9 @@ fn vrid_matches_rid_contents() {
         ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Vrid)
     };
     let (rid, _) = FpgaPartitioner::new(rid_cfg).partition(&row).unwrap();
-    let (vrid, _) = FpgaPartitioner::new(vrid_cfg).partition_columns(&col).unwrap();
+    let (vrid, _) = FpgaPartitioner::new(vrid_cfg)
+        .partition_columns(&col)
+        .unwrap();
 
     // `from_keys` sets payload = row id = the position VRID appends, so
     // the contents agree exactly.
