@@ -1,7 +1,8 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--scale F] [--threads N] [--seed S] [--out FILE] [--csv FILE] [IDS…]
+//! figures [--scale F] [--threads N] [--seed S] [--out FILE] [--csv FILE]
+//!         [--json FILE] [--baseline FILE] [IDS…]
 //!
 //!   IDS    figure ids (fig2 table1 fig3 fig4 table2 fig8 fig9
 //!          validation fig10 fig11 fig12 fig13 whatif distributed
@@ -10,19 +11,29 @@
 //!   --threads N   host threads for measured runs (default: all)
 //!   --seed S      data-generation seed (default 42)
 //!   --out FILE    also write the report to FILE
+//!   --json FILE   write {figure, point, mtuples_per_s, cycles, wall_s}
+//!                 records as a JSON array
+//!   --baseline FILE  compare simulated throughput against a committed
+//!                 --json baseline; exit 1 on a >20% regression
 //!   --list        list available figures
 //! ```
 
 use std::io::Write;
 
 use fpart_bench::figures::ALL;
-use fpart_bench::Scale;
+use fpart_bench::{record, Scale};
+
+/// Simulated-throughput points may regress by at most this factor
+/// against the committed baseline before the run fails.
+const REGRESSION_TOLERANCE: f64 = 0.8;
 
 fn main() {
     let mut scale = Scale::default_scale();
     let mut ids: Vec<String> = Vec::new();
     let mut out_file: Option<String> = None;
     let mut csv_file: Option<String> = None;
+    let mut json_file: Option<String> = None;
+    let mut baseline_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +65,12 @@ fn main() {
             }
             "--csv" => {
                 csv_file = Some(args.next().expect("--csv needs a path"));
+            }
+            "--json" => {
+                json_file = Some(args.next().expect("--json needs a path"));
+            }
+            "--baseline" => {
+                baseline_file = Some(args.next().expect("--baseline needs a path"));
             }
             "--list" => {
                 for fig in ALL {
@@ -92,18 +109,25 @@ fn main() {
         "# fpart evaluation report (scale {:.5}, {} host thread(s), seed {})\n\n",
         scale.fraction, scale.host_threads, scale.seed
     ));
-    for fig in selected {
+    let suite_t0 = std::time::Instant::now();
+    for fig in &selected {
         eprintln!("[figures] running {} — {}", fig.id, fig.description);
         let t0 = std::time::Instant::now();
         let tables = (fig.run)(&scale);
+        let wall = t0.elapsed().as_secs_f64();
+        record::emit(fig.id, "figure wall", 0.0, 0, wall);
         report.push_str(&fpart_bench::table::render_tables(&tables));
-        report.push_str(&format!(
-            "  (generated in {:.1}s)\n\n",
-            t0.elapsed().as_secs_f64()
-        ));
+        report.push_str(&format!("  (generated in {wall:.1}s)\n\n"));
         csv.push_str(&fpart_bench::table::render_tables_csv(&tables));
         csv.push('\n');
     }
+    record::emit(
+        "suite",
+        "total wall",
+        0.0,
+        0,
+        suite_t0.elapsed().as_secs_f64(),
+    );
     print!("{report}");
     if let Some(path) = out_file {
         let mut f = std::fs::File::create(&path).expect("create --out file");
@@ -115,8 +139,68 @@ fn main() {
         f.write_all(csv.as_bytes()).expect("write --csv file");
         eprintln!("[figures] csv written to {path}");
     }
+
+    let records = record::drain();
+    if let Some(path) = json_file {
+        let mut f = std::fs::File::create(&path).expect("create --json file");
+        f.write_all(record::to_json(&records).as_bytes())
+            .expect("write --json file");
+        eprintln!("[figures] {} records written to {path}", records.len());
+    }
+    if let Some(path) = baseline_file {
+        let text = std::fs::read_to_string(&path).expect("read --baseline file");
+        let baseline = record::from_json(&text);
+        if let Err(failures) = check_regressions(&baseline, &records) {
+            for f in &failures {
+                eprintln!("[figures] REGRESSION {f}");
+            }
+            eprintln!(
+                "[figures] {} throughput regression(s) vs {path} (tolerance {:.0}%)",
+                failures.len(),
+                (1.0 - REGRESSION_TOLERANCE) * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[figures] no throughput regressions vs {path}");
+    }
+}
+
+/// Compare every simulated-throughput baseline point that also exists in
+/// the current run; collect those that fell below the tolerance.
+///
+/// Only `mtuples_per_s > 0` points participate: wall-clock records vary
+/// with host load and measured CPU points vary with the machine, but the
+/// simulator's throughput for a fixed (scale, seed) is deterministic.
+fn check_regressions(
+    baseline: &[record::PointRecord],
+    current: &[record::PointRecord],
+) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    for b in baseline.iter().filter(|b| b.mtuples_per_s > 0.0) {
+        if b.point.contains("measured") {
+            continue;
+        }
+        let Some(c) = current
+            .iter()
+            .find(|c| c.figure == b.figure && c.point == b.point)
+        else {
+            continue; // point not in this (possibly filtered) run
+        };
+        if c.mtuples_per_s < b.mtuples_per_s * REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "{}/{}: {:.1} -> {:.1} Mt/s",
+                b.figure, b.point, b.mtuples_per_s, c.mtuples_per_s
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
 }
 
 const HELP: &str = "\
-figures [--scale F] [--threads N] [--seed S] [--out FILE] [--csv FILE] [IDS...]
+figures [--scale F] [--threads N] [--seed S] [--out FILE] [--csv FILE]
+        [--json FILE] [--baseline FILE] [IDS...]
 Regenerates the paper's tables and figures. Use --list to see ids.";

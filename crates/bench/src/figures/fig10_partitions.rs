@@ -14,7 +14,7 @@ use fpart::prelude::*;
 use fpart_costmodel::cpu::DistributionKind;
 use fpart_costmodel::{CpuCostModel, FpgaCostModel, JoinCostModel, ModePair};
 
-use crate::figures::common::{scale_note, PARTITION_AXIS};
+use crate::figures::common::{scale_note, workload_rows, PARTITION_AXIS};
 use crate::table::{fnum, TextTable};
 use crate::Scale;
 
@@ -69,9 +69,8 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
 
     // Measured locally at scale: sweep partition bits around the scaled
     // default to show the same shape on real code.
-    let (r, s) = WorkloadId::A
-        .spec()
-        .row_relations::<Tuple8>(scale.fraction, scale.seed);
+    let pair = workload_rows(WorkloadId::A, scale.fraction, scale.seed);
+    let (r, s) = &*pair;
     let base_bits = scale.partition_bits_for(13);
     let mut m = TextTable::new(
         format!(
@@ -93,14 +92,25 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     ] {
         let f = PartitionFn::Murmur { bits };
         let join = CpuRadixJoin::new(f, scale.host_threads);
-        let (_, report) = join.execute(&r, &s);
+        let (_, report) = join.execute(r, s);
 
+        // Batched fidelity: the hybrid join's FPGA phase contributes
+        // simulated seconds, so only the functional output and the
+        // analytic cycle count matter here.
         let config = PartitionerConfig {
             partition_fn: f,
             ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Rid)
-        };
+        }
+        .with_fidelity(SimFidelity::Batched);
         let hybrid = HybridJoin::new(config, scale.host_threads);
-        let (_, hreport) = hybrid.execute(&r, &s).expect("hybrid join");
+        let (_, hreport) = hybrid.execute(r, s).expect("hybrid join");
+        crate::record::emit(
+            "fig10",
+            &format!("parts={} hyb b+p", 1usize << bits),
+            0.0,
+            0,
+            hreport.build_probe.wall.as_secs_f64(),
+        );
         m.row(vec![
             (1usize << bits).to_string(),
             fnum(report.partition_time().as_secs_f64()),

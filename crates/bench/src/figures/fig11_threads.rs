@@ -11,7 +11,7 @@ use fpart::prelude::*;
 use fpart_costmodel::cpu::DistributionKind;
 use fpart_costmodel::{CpuCostModel, FpgaCostModel, JoinCostModel, ModePair};
 
-use crate::figures::common::{scale_note, THREAD_AXIS};
+use crate::figures::common::{scale_note, workload_columns, workload_rows, THREAD_AXIS};
 use crate::table::{fnum, TextTable};
 use crate::Scale;
 
@@ -97,33 +97,40 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         ],
     );
     for id in [WorkloadId::A, WorkloadId::B] {
-        let (r, s) = id
-            .spec()
-            .row_relations::<Tuple8>(scale.fraction, scale.seed);
+        let pair = workload_rows(id, scale.fraction, scale.seed);
+        let (r, s) = &*pair;
         let bits = scale.partition_bits_for(13);
         let f = PartitionFn::Murmur { bits };
-        let (_, cpu_rep) = CpuRadixJoin::new(f, scale.host_threads).execute(&r, &s);
+        let (_, cpu_rep) = CpuRadixJoin::new(f, scale.host_threads).execute(r, s);
 
         let rid_cfg = PartitionerConfig {
             partition_fn: f,
             ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Rid)
-        };
+        }
+        .with_fidelity(SimFidelity::Batched);
         let (_, hyb) = HybridJoin::new(rid_cfg, scale.host_threads)
-            .execute(&r, &s)
+            .execute(r, s)
             .expect("hybrid join");
 
         // VRID partitioning of the same data as columns.
-        let (rc, sc) = id
-            .spec()
-            .column_relations::<Tuple8>(scale.fraction, scale.seed);
+        let cols = workload_columns(id, scale.fraction, scale.seed);
+        let (rc, sc) = &*cols;
         let vrid_cfg = PartitionerConfig {
             partition_fn: f,
             ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Vrid)
-        };
+        }
+        .with_fidelity(SimFidelity::Batched);
         let vp = fpart::fpga::FpgaPartitioner::new(vrid_cfg);
-        let vrid_secs = vp.partition_columns(&rc).expect("vrid r").1.seconds()
-            + vp.partition_columns(&sc).expect("vrid s").1.seconds();
+        let vrid_secs = vp.partition_columns(rc).expect("vrid r").1.seconds()
+            + vp.partition_columns(sc).expect("vrid s").1.seconds();
 
+        crate::record::emit(
+            "fig11",
+            &format!("{} hyb b+p", id.spec().name),
+            0.0,
+            0,
+            hyb.build_probe.wall.as_secs_f64(),
+        );
         m.row(vec![
             id.spec().name.into(),
             fnum(cpu_rep.total_time().as_secs_f64()),

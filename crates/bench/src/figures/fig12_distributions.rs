@@ -37,15 +37,13 @@ fn kind(dist: KeyDistribution) -> DistributionKind {
 /// bin is multiplied by `1/scale` so the cache-fit model sees
 /// paper-sized partitions.
 fn histograms(id: WorkloadId, scale: &Scale, f: PartitionFn) -> (Vec<u64>, Vec<u64>) {
-    let (r, s) = id
-        .spec()
-        .row_relations::<Tuple8>(scale.fraction, scale.seed);
-    let p = Partitioner::cpu(f, scale.host_threads);
-    let (rp, _) = p.partition(&r).expect("partition r");
-    let (sp, _) = p.partition(&s).expect("partition s");
+    let pair = crate::figures::common::workload_rows(id, scale.fraction, scale.seed);
+    let (r, s) = &*pair;
+    // Only the per-partition fills feed the cost model — skip the scatter.
+    let p = CpuPartitioner::new(f, scale.host_threads);
     let up = (1.0 / scale.fraction).round() as u64;
-    let to_u64 = |h: &[usize]| h.iter().map(|&x| x as u64 * up).collect();
-    (to_u64(rp.histogram()), to_u64(sp.histogram()))
+    let to_u64 = |h: Vec<usize>| h.iter().map(|&x| x as u64 * up).collect();
+    (to_u64(p.histogram_only(r)), to_u64(p.histogram_only(s)))
 }
 
 /// Generate the Figure 12 report.
@@ -59,11 +57,27 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     let n = 128_000_000u64;
 
     let mut tables: Vec<TextTable> = Vec::new();
-    for id in [WorkloadId::C, WorkloadId::D, WorkloadId::E] {
+    // The six partition-balance histograms (3 workloads × 2 partition
+    // functions) are pure setup — their wall clock is not an output — so
+    // they fan out across cores.
+    let ids = [WorkloadId::C, WorkloadId::D, WorkloadId::E];
+    let jobs: Vec<(WorkloadId, PartitionFn)> = ids
+        .iter()
+        .flat_map(|&id| {
+            [
+                (id, PartitionFn::Radix { bits }),
+                (id, PartitionFn::Murmur { bits }),
+            ]
+        })
+        .collect();
+    let hists = crate::par::par_map(jobs, crate::par::default_workers(), |(id, f)| {
+        histograms(id, scale, f)
+    });
+    for (w, id) in ids.into_iter().enumerate() {
         let spec = id.spec();
         let d = kind(spec.distribution);
-        let (radix_r_hist, radix_s_hist) = histograms(id, scale, PartitionFn::Radix { bits });
-        let (hash_r_hist, hash_s_hist) = histograms(id, scale, PartitionFn::Murmur { bits });
+        let (radix_r_hist, radix_s_hist) = hists[w * 2].clone();
+        let (hash_r_hist, hash_s_hist) = hists[w * 2 + 1].clone();
 
         let mut t = TextTable::new(
             format!(

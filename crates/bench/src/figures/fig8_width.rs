@@ -7,21 +7,23 @@
 use fpart::prelude::*;
 use fpart_costmodel::{FpgaCostModel, ModePair};
 use fpart_datagen::KeyDistribution;
-use fpart_fpga::FpgaPartitioner;
+use fpart_fpga::{FpgaPartitioner, RunReport, SimFidelity};
 
 use crate::figures::common::scale_note;
+use crate::par::{default_workers, par_map};
 use crate::table::{fnum, TextTable};
 use crate::Scale;
 
-fn simulate_width<T: Tuple<K = u64>>(n: usize, bits: u32, seed: u64) -> (f64, f64) {
+fn simulate_width<T: Tuple<K = u64>>(n: usize, bits: u32, seed: u64) -> RunReport {
     let config = PartitionerConfig {
         partition_fn: PartitionFn::Murmur { bits },
         ..PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid)
-    };
+    }
+    .with_fidelity(SimFidelity::Batched);
     let keys = KeyDistribution::Random.generate_keys::<u64>(n, seed);
     let rel = Relation::<T>::from_keys(&keys);
     let (_, report) = FpgaPartitioner::new(config).partition(&rel).expect("sim");
-    (report.mtuples_per_sec(), report.link_gbps())
+    report
 }
 
 /// Generate the Figure 8 report.
@@ -45,39 +47,56 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         ],
     );
 
-    // 8 B uses u32 keys; measure separately.
-    let (mt8, gb8) = {
-        let config = PartitionerConfig {
-            partition_fn: PartitionFn::Murmur { bits },
-            ..PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid)
-        };
-        let keys = KeyDistribution::Random.generate_keys::<u32>(n, scale.seed);
-        let rel = Relation::<Tuple8>::from_keys(&keys);
-        let (_, report) = FpgaPartitioner::new(config).partition(&rel).expect("sim");
-        (report.mtuples_per_sec(), report.link_gbps())
-    };
-    let widths: [(usize, f64, f64); 4] = [
-        (8, mt8, gb8),
-        {
-            let (mt, gb) = simulate_width::<Tuple16>(n / 2, bits, scale.seed);
-            (16, mt, gb)
-        },
-        {
-            let (mt, gb) = simulate_width::<Tuple32>(n / 4, bits, scale.seed);
-            (32, mt, gb)
-        },
-        {
-            let (mt, gb) = simulate_width::<Tuple64>(n / 8, bits, scale.seed);
-            (64, mt, gb)
-        },
+    // The four widths are independent simulations (different tuple
+    // types, so they fan out as boxed jobs rather than a data axis).
+    let seed = scale.seed;
+    let jobs: Vec<(usize, Box<dyn FnOnce() -> RunReport + Send>)> = vec![
+        (
+            8,
+            Box::new(move || {
+                // 8 B uses u32 keys; simulate separately.
+                let config = PartitionerConfig {
+                    partition_fn: PartitionFn::Murmur { bits },
+                    ..PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid)
+                }
+                .with_fidelity(SimFidelity::Batched);
+                let keys = KeyDistribution::Random.generate_keys::<u32>(n, seed);
+                let rel = Relation::<Tuple8>::from_keys(&keys);
+                FpgaPartitioner::new(config).partition(&rel).expect("sim").1
+            }),
+        ),
+        (
+            16,
+            Box::new(move || simulate_width::<Tuple16>(n / 2, bits, seed)),
+        ),
+        (
+            32,
+            Box::new(move || simulate_width::<Tuple32>(n / 4, bits, seed)),
+        ),
+        (
+            64,
+            Box::new(move || simulate_width::<Tuple64>(n / 8, bits, seed)),
+        ),
     ];
-    for (w, mt, gb) in widths {
+    let widths: Vec<usize> = jobs.iter().map(|(w, _)| *w).collect();
+    let reports = par_map(jobs, default_workers(), |(_, job)| {
+        let t0 = std::time::Instant::now();
+        (job(), t0.elapsed().as_secs_f64())
+    });
+    for (w, (report, wall)) in widths.iter().zip(&reports) {
+        crate::record::emit(
+            "fig8",
+            &format!("{w}B"),
+            report.mtuples_per_sec(),
+            report.total_cycles(),
+            *wall,
+        );
         t.row(vec![
             format!("{w}B"),
-            fnum(model.p_total((n / (w / 8)) as u64, w, ModePair::HistRid) / 1e6),
-            fnum(mt),
-            fnum(model.data_gbps((n / (w / 8)) as u64, w, ModePair::HistRid)),
-            fnum(gb),
+            fnum(model.p_total((n / (w / 8)) as u64, *w, ModePair::HistRid) / 1e6),
+            fnum(report.mtuples_per_sec()),
+            fnum(model.data_gbps((n / (w / 8)) as u64, *w, ModePair::HistRid)),
+            fnum(report.link_gbps()),
         ]);
     }
     t.note("paper: ~299 Mt/s at 8B falling ~2x per doubling; total GB/s nearly constant");

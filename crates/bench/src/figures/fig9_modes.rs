@@ -6,7 +6,7 @@ use fpart::prelude::*;
 use fpart_costmodel::cpu::DistributionKind;
 use fpart_costmodel::{CpuCostModel, FpgaCostModel, ModePair};
 
-use crate::figures::common::{relation, scale_note, simulate_mode};
+use crate::figures::common::{relation, scale_note, sim_points};
 use crate::table::{fnum, TextTable};
 use crate::Scale;
 
@@ -58,25 +58,39 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         "-".into(),
         "- (reference bar)".into(),
     ]);
-    for (mode, paper) in [
-        (ModePair::HistRid, 299.0),
-        (ModePair::HistVrid, 391.0),
-        (ModePair::PadRid, 436.0),
-        (ModePair::PadVrid, 514.0),
-    ] {
-        let report = simulate_mode(mode, n, bits, false, scale.seed);
+    // All six simulated points (four QPI modes + two raw-wrapper bars)
+    // are independent; fan them out across cores.
+    let points = [
+        (ModePair::HistRid, false),
+        (ModePair::HistVrid, false),
+        (ModePair::PadRid, false),
+        (ModePair::PadVrid, false),
+        (ModePair::HistRid, true),
+        (ModePair::PadRid, true),
+    ];
+    let sims = sim_points("fig9", &points, n, bits, scale.seed);
+    for (i, paper) in [299.0, 391.0, 436.0, 514.0].into_iter().enumerate() {
         t.row(vec![
-            mode.label().into(),
+            points[i].0.label().into(),
             fnum(paper),
-            fnum(fpga_model.p_total(n as u64, 8, mode) / 1e6),
-            format!("{} (sim)", fnum(report.mtuples_per_sec())),
+            fnum(fpga_model.p_total(n as u64, 8, points[i].0) / 1e6),
+            format!("{} (sim)", fnum(sims[i].mtuples_per_sec())),
         ]);
     }
-    // CPU 10 cores: model + local measurement.
+    // CPU 10 cores: model + local measurement. Stays serial — its wall
+    // clock is the result, so it must not share the cores.
     let rel = relation(n, KeyDistribution::Linear, scale.seed);
+    let t_cpu = std::time::Instant::now();
     let (_, cpu_report) = Partitioner::cpu(PartitionFn::Murmur { bits }, scale.host_threads)
         .partition(&rel)
         .expect("cpu partition");
+    crate::record::emit(
+        "fig9",
+        "CPU measured",
+        cpu_report.mtuples_per_sec(),
+        0,
+        t_cpu.elapsed().as_secs_f64(),
+    );
     t.row(vec![
         "CPU (10 cores)".into(),
         fnum(506.0),
@@ -94,18 +108,18 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
             scale.host_threads
         ),
     ]);
-    for (mode, label, paper) in [
-        (ModePair::HistRid, "Raw FPGA (HIST)", 799.0),
-        (ModePair::PadRid, "Raw FPGA (PAD)", 1597.0),
-    ] {
-        let report = simulate_mode(mode, n, bits, true, scale.seed);
+    for (i, (label, paper)) in [("Raw FPGA (HIST)", 799.0), ("Raw FPGA (PAD)", 1597.0)]
+        .into_iter()
+        .enumerate()
+    {
+        let (mode, _) = points[4 + i];
         t.row(vec![
             label.into(),
             fnum(paper),
             fnum(raw_model.p_total(n as u64, 8, mode) / 1e6),
             format!(
                 "{} (sim, 25.6 GB/s wrapper)",
-                fnum(report.mtuples_per_sec())
+                fnum(sims[4 + i].mtuples_per_sec())
             ),
         ]);
     }
@@ -129,7 +143,9 @@ mod tests {
         };
         let n = scale.n_128m();
         let bits = scale.partition_bits_for(13);
-        let sim = |mode, raw| simulate_mode(mode, n, bits, raw, 3).mtuples_per_sec();
+        let sim = |mode, raw| {
+            crate::figures::common::simulate_mode(mode, n, bits, raw, 3).mtuples_per_sec()
+        };
         let hist_rid = sim(ModePair::HistRid, false);
         let pad_rid = sim(ModePair::PadRid, false);
         let pad_vrid = sim(ModePair::PadVrid, false);

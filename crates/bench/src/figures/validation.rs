@@ -7,7 +7,7 @@
 
 use fpart_costmodel::{FpgaCostModel, ModePair};
 
-use crate::figures::common::{scale_note, simulate_mode};
+use crate::figures::common::{scale_note, sim_points};
 use crate::table::{fnum, TextTable};
 use crate::Scale;
 
@@ -34,14 +34,17 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
             "delta",
         ],
     );
-    for (mode, paper_model, paper_measured) in [
+    let rows = [
         (ModePair::HistRid, 294.0, 299.0),
         (ModePair::HistVrid, 435.0, 391.0),
         (ModePair::PadRid, 435.0, 436.0),
         (ModePair::PadVrid, 495.0, 514.0),
-    ] {
+    ];
+    let points: Vec<(ModePair, bool)> = rows.iter().map(|&(m, _, _)| (m, false)).collect();
+    let sims = sim_points("validation", &points, n, bits, scale.seed);
+    for (i, &(mode, paper_model, paper_measured)) in rows.iter().enumerate() {
         let ours_model = model.p_total(n as u64, 8, mode) / 1e6;
-        let sim = simulate_mode(mode, n, bits, false, scale.seed).mtuples_per_sec();
+        let sim = sims[i].mtuples_per_sec();
         let delta = (sim - ours_model) / ours_model * 100.0;
         t.row(vec![
             mode.label().into(),

@@ -57,26 +57,40 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         "What-if — simulator spot checks (PAD/RID)",
         &["link GB/s", "model Mt/s", "sim Mt/s"],
     );
-    for gbps in [6.97, 12.8, 25.6] {
+    // Independent operating points: fan out, then record in axis order.
+    let gbps_axis = vec![6.97, 12.8, 25.6];
+    let spot = crate::par::par_map(gbps_axis.clone(), crate::par::default_workers(), |gbps| {
         let config = fpart_fpga::PartitionerConfig {
             partition_fn: fpart_hash::PartitionFn::Murmur { bits },
             ..fpart_fpga::PartitionerConfig::paper_default(
                 fpart_fpga::OutputMode::pad_default(),
                 fpart_fpga::InputMode::Rid,
             )
-        };
+        }
+        .with_fidelity(fpart_fpga::SimFidelity::Batched);
         let qpi = QpiConfig::harp(BandwidthCurve::new(
             "what-if",
             vec![(0.0, gbps), (1.0, gbps)],
         ));
         let keys = fpart_datagen::KeyDistribution::Random.generate_keys::<u32>(n, scale.seed);
         let rel = fpart_types::Relation::<fpart_types::Tuple8>::from_keys(&keys);
+        let t0 = std::time::Instant::now();
         let (_, report) = fpart_fpga::FpgaPartitioner::with_qpi(config, qpi)
             .partition(&rel)
             .expect("sim");
+        (report, t0.elapsed().as_secs_f64())
+    });
+    for (gbps, (report, wall)) in gbps_axis.iter().zip(spot) {
+        crate::record::emit(
+            "whatif",
+            &format!("{gbps} GB/s"),
+            report.mtuples_per_sec(),
+            report.total_cycles(),
+            wall,
+        );
         v.row(vec![
-            fnum(gbps),
-            fnum(sweep.throughput(gbps, 200e6) / 1e6),
+            fnum(*gbps),
+            fnum(sweep.throughput(*gbps, 200e6) / 1e6),
             fnum(report.mtuples_per_sec()),
         ]);
     }

@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod par;
+pub mod record;
 pub mod scale;
 pub mod table;
 

@@ -1,0 +1,238 @@
+//! Machine-readable result records for the perf trajectory.
+//!
+//! Figures report each simulated/measured data point through [`emit`];
+//! the `figures` binary drains the collector at the end of the run and
+//! writes them as a JSON array (`--json BENCH_figures.json`). The
+//! collector is a process-global mutex so figure code stays oblivious to
+//! the harness's threading, and the JSON is hand-rolled because the
+//! workspace deliberately carries no serde dependency.
+
+use std::sync::Mutex;
+
+/// One benchmark data point: a named point within a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Figure id, e.g. `"fig9"`.
+    pub figure: String,
+    /// Point label within the figure, e.g. `"PAD/VRID"` or `"parts=8192"`.
+    pub point: String,
+    /// Throughput of the modeled device at this point (0 when the point
+    /// has no throughput semantics, e.g. a pure wall-clock record).
+    pub mtuples_per_s: f64,
+    /// Simulated device cycles (0 for measured CPU points).
+    pub cycles: u64,
+    /// Host wall-clock seconds spent producing the point.
+    pub wall_s: f64,
+}
+
+static RECORDS: Mutex<Vec<PointRecord>> = Mutex::new(Vec::new());
+
+/// Append one record to the process-global collector.
+pub fn emit(figure: &str, point: &str, mtuples_per_s: f64, cycles: u64, wall_s: f64) {
+    RECORDS.lock().unwrap().push(PointRecord {
+        figure: figure.to_string(),
+        point: point.to_string(),
+        mtuples_per_s,
+        cycles,
+        wall_s,
+    });
+}
+
+/// Drain every record emitted so far (in emission order).
+pub fn drain() -> Vec<PointRecord> {
+    std::mem::take(&mut *RECORDS.lock().unwrap())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Enough digits to round-trip the comparisons we make; trailing
+        // zeros are harmless.
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Render records as a JSON array, one object per line.
+pub fn to_json(records: &[PointRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"figure\": \"{}\", \"point\": \"{}\", \"mtuples_per_s\": {}, \"cycles\": {}, \"wall_s\": {}}}{}\n",
+            json_escape(&r.figure),
+            json_escape(&r.point),
+            json_f64(r.mtuples_per_s),
+            r.cycles,
+            json_f64(r.wall_s),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parse a JSON array previously produced by [`to_json`] (or an
+/// equivalently-shaped file). This is a tolerant, purpose-built reader —
+/// it extracts the five known keys per object and ignores anything else.
+pub fn from_json(text: &str) -> Vec<PointRecord> {
+    let mut records = Vec::new();
+    for obj in split_objects(text) {
+        let figure = string_field(&obj, "figure");
+        let point = string_field(&obj, "point");
+        let (Some(figure), Some(point)) = (figure, point) else {
+            continue;
+        };
+        records.push(PointRecord {
+            figure,
+            point,
+            mtuples_per_s: number_field(&obj, "mtuples_per_s").unwrap_or(0.0),
+            cycles: number_field(&obj, "cycles").unwrap_or(0.0) as u64,
+            wall_s: number_field(&obj, "wall_s").unwrap_or(0.0),
+        });
+    }
+    records
+}
+
+/// Split the top-level array into per-object substrings, respecting
+/// strings and nesting.
+fn split_objects(text: &str) -> Vec<String> {
+    let mut objs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in text.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        objs.push(text[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    objs
+}
+
+fn field_value(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let rest = &obj[at + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    Some(rest.to_string())
+}
+
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let rest = field_value(obj, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut escape = false;
+    for c in rest.chars() {
+        if escape {
+            match c {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                c => out.push(c),
+            }
+            escape = false;
+        } else if c == '\\' {
+            escape = true;
+        } else if c == '"' {
+            return Some(out);
+        } else {
+            out.push(c);
+        }
+    }
+    None
+}
+
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let rest = field_value(obj, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let records = vec![
+            PointRecord {
+                figure: "fig9".into(),
+                point: "PAD/VRID".into(),
+                mtuples_per_s: 514.25,
+                cycles: 123_456_789,
+                wall_s: 0.125,
+            },
+            PointRecord {
+                figure: "suite".into(),
+                point: "total \"quoted\"".into(),
+                mtuples_per_s: 0.0,
+                cycles: 0,
+                wall_s: 20.5,
+            },
+        ];
+        let parsed = from_json(&to_json(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].figure, "fig9");
+        assert_eq!(parsed[0].point, "PAD/VRID");
+        assert!((parsed[0].mtuples_per_s - 514.25).abs() < 1e-6);
+        assert_eq!(parsed[0].cycles, 123_456_789);
+        assert_eq!(parsed[1].point, "total \"quoted\"");
+        assert!((parsed[1].wall_s - 20.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerates_unknown_keys_and_whitespace() {
+        let text = r#"[
+          {"figure":"fig8", "extra": [1,2,{"x":3}], "point":"16B",
+           "mtuples_per_s": 1.5e2, "cycles": 42, "wall_s": 0.01}
+        ]"#;
+        let parsed = from_json(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].figure, "fig8");
+        assert!((parsed[0].mtuples_per_s - 150.0).abs() < 1e-9);
+        assert_eq!(parsed[0].cycles, 42);
+    }
+}

@@ -66,7 +66,9 @@ pub mod prelude {
     pub use crate::partitioner::{PartitionStats, Partitioner};
     pub use fpart_cpu::{CpuPartitioner, Strategy};
     pub use fpart_datagen::{KeyDistribution, Workload, WorkloadId};
-    pub use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig};
+    pub use fpart_fpga::{
+        FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity,
+    };
     pub use fpart_hash::PartitionFn;
     pub use fpart_hwsim::{Fault, FaultPlan, FaultSpec};
     pub use fpart_join::{

@@ -99,6 +99,27 @@ impl Partitioner {
         Self::Fpga(FpgaPartitioner::new(config))
     }
 
+    /// [`Self::fpga_with_modes`] at an explicit simulation fidelity.
+    /// Batched fidelity produces the same partitioned bytes (and the
+    /// same overflow partition, if any) orders of magnitude faster; use
+    /// it when only the functional outcome and the analytic cycle count
+    /// matter.
+    pub fn fpga_with_fidelity(
+        partition_fn: PartitionFn,
+        output: OutputMode,
+        input: InputMode,
+        fidelity: fpart_fpga::SimFidelity,
+    ) -> Self {
+        let config = PartitionerConfig {
+            partition_fn,
+            output,
+            input,
+            ..PartitionerConfig::paper_default(output, input)
+        }
+        .with_fidelity(fidelity);
+        Self::Fpga(FpgaPartitioner::new(config))
+    }
+
     /// The partition function in effect.
     pub fn partition_fn(&self) -> PartitionFn {
         match self {

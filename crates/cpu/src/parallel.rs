@@ -90,6 +90,33 @@ impl CpuPartitioner {
         self
     }
 
+    /// Run only the histogram pass: tuples per partition, without
+    /// materialising the scattered output. Analyses that need partition
+    /// *balance* (not the partitioned bytes) should use this — it skips
+    /// the scatter pass and the full-size output allocation.
+    pub fn histogram_only<T: Tuple>(&self, rel: &Relation<T>) -> Vec<usize> {
+        let f = self.partition_fn;
+        let tuples = rel.tuples();
+        let threads = self.threads.min(tuples.len()).max(1);
+        let chunks: Vec<&[T]> = chunk_evenly(tuples, threads);
+        let thread_hists: Vec<Vec<usize>> = if threads == 1 {
+            vec![histogram::build(chunks[0], f)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| s.spawn(move || histogram::build(chunk, f)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("histogram worker"))
+                    .collect()
+            })
+        };
+        let (global, _) = histogram::thread_bases(&thread_hists);
+        global
+    }
+
     /// Partition a relation. Output extents are tuple-exact (no padding).
     pub fn partition<T: Tuple>(&self, rel: &Relation<T>) -> (PartitionedRelation<T>, CpuRunReport) {
         match self.strategy {

@@ -25,7 +25,7 @@ use crate::zipf::ZipfSampler;
 const GRID_RADIX: u64 = 128;
 
 /// A key distribution from the paper's Section 3.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KeyDistribution {
     /// Unique keys `1..=N` in sequence.
     Linear,

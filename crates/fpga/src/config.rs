@@ -111,6 +111,44 @@ impl InputMode {
     }
 }
 
+/// How faithfully the simulator executes a run.
+///
+/// The circuit itself is deterministic and fully pipelined, so its
+/// *functional* output and its *cycle count* can be computed separately:
+/// the batched fidelity executes the datapath in whole-cache-line batches
+/// and derives cycles analytically from the QPI token-bucket model,
+/// instead of ticking every module once per simulated clock. Differential
+/// tests (`crates/fpga/tests/fastpath_equivalence.rs`) pin the two
+/// fidelities to identical partition contents and closely bounded cycle
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimFidelity {
+    /// Tick every pipeline stage once per simulated FPGA clock. Exact
+    /// per-cycle observables (stall counters, FIFO high-water marks,
+    /// utilisation timeline); required for fault injection. Throughput:
+    /// roughly one simulated cache line per microsecond of host time.
+    #[default]
+    CycleAccurate,
+    /// Execute the datapath functionally in cache-line batches and
+    /// fast-forward the QPI clock analytically
+    /// ([`fpart_hwsim::QpiConfig::link_cycles`]). Orders of magnitude
+    /// faster; identical partition output; cycle counts within the
+    /// warm-up/drain slack of cycle-accurate. Runs with an armed fault
+    /// plan silently fall back to [`SimFidelity::CycleAccurate`] — the
+    /// whole point of a fault plan is its cycle-level interleaving.
+    Batched,
+}
+
+impl SimFidelity {
+    /// Short label for reports ("cycle" / "batched").
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::CycleAccurate => "cycle",
+            Self::Batched => "batched",
+        }
+    }
+}
+
 /// Full configuration of one partitioner instantiation.
 #[derive(Debug, Clone)]
 pub struct PartitionerConfig {
@@ -126,6 +164,10 @@ pub struct PartitionerConfig {
     pub fifo_capacity: usize,
     /// Depth of each write combiner's output FIFO.
     pub out_fifo_capacity: usize,
+    /// Cycle-accurate or batched simulation (a harness knob, not a
+    /// property of the modelled hardware — both fidelities describe the
+    /// same circuit).
+    pub fidelity: SimFidelity,
 }
 
 impl PartitionerConfig {
@@ -140,7 +182,15 @@ impl PartitionerConfig {
             input,
             fifo_capacity: 64,
             out_fifo_capacity: 8,
+            fidelity: SimFidelity::default(),
         }
+    }
+
+    /// This configuration with the given simulation fidelity (builder
+    /// style — the figure harness switches whole sweeps to batched).
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
     }
 
     /// Number of partitions.

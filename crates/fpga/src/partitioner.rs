@@ -28,7 +28,7 @@ use fpart_types::{
     CACHE_LINE_BYTES,
 };
 
-use crate::config::{InputMode, OutputMode, PartitionerConfig};
+use crate::config::{InputMode, OutputMode, PartitionerConfig, SimFidelity};
 use crate::hashmod::HashPipeline;
 use crate::writeback::{AddressedLine, PartitionExtents, WriteBack};
 use crate::writecomb::{CombinedLine, WriteCombiner};
@@ -267,21 +267,45 @@ impl FpgaPartitioner {
     pub fn histogram_only<T: Tuple>(&self, rel: &Relation<T>) -> Result<(Vec<u64>, u64)> {
         self.config.validate()?;
         let input = InputData::<T>::Rows(rel.tuples());
-        let pass =
-            HistogramPass::run::<T>(&self.config, self.qpi.clone(), &input, self.faults.as_ref())?;
         let parts = self.config.partitions();
+        if self.fast_path_active() {
+            let pass = crate::fastpath::histogram_pass(&self.config, &self.qpi, &input);
+            let hist = (0..parts)
+                .map(|p| (0..T::LANES).map(|l| pass.lane_hists[l * parts + p]).sum())
+                .collect();
+            return Ok((hist, pass.cycles));
+        }
+        let mut scratch = SimScratch::new(input.expansion());
+        let pass = HistogramPass::run::<T>(
+            &self.config,
+            self.qpi.clone(),
+            &input,
+            self.faults.as_ref(),
+            &mut scratch,
+        )?;
         let hist = (0..parts)
             .map(|p| pass.lane_hists.iter().map(|h| h[p]).sum())
             .collect();
         Ok((hist, pass.cycles))
     }
 
+    /// Whether this run takes the batched fast path: the configuration
+    /// asks for it AND no fault plan is armed (fault interleavings are
+    /// inherently cycle-level, so armed plans force cycle accuracy).
+    fn fast_path_active(&self) -> bool {
+        self.config.fidelity == SimFidelity::Batched && self.faults.is_none()
+    }
+
     fn run<T: Tuple>(
         &self,
         input: InputData<'_, T>,
     ) -> Result<(PartitionedRelation<T>, RunReport)> {
+        if self.fast_path_active() {
+            return crate::fastpath::run_batched(&self.config, &self.qpi, &input);
+        }
         let parts = self.config.partitions();
         let n = input.tuple_count();
+        let mut scratch = SimScratch::new(input.expansion());
 
         // Page table covering input + output virtual regions.
         let mut pagetable = build_pagetable::<T>(&input, parts, n, &self.config.output)?;
@@ -297,6 +321,7 @@ impl FpgaPartitioner {
                     self.qpi.clone(),
                     &input,
                     self.faults.as_ref(),
+                    &mut scratch,
                 )?;
                 let valid: Vec<usize> = (0..parts)
                     .map(|p| pass.lane_hists.iter().map(|h| h[p] as usize).sum())
@@ -343,7 +368,7 @@ impl FpgaPartitioner {
             &input,
             self.faults.as_ref(),
         );
-        let scatter = engine.run(&mut out, &mut pagetable)?;
+        let scatter = engine.run(&mut out, &mut pagetable, &mut scratch)?;
 
         let mut qpi = scatter.qpi_stats;
         qpi.accumulate(&hist_stats);
@@ -367,8 +392,37 @@ impl FpgaPartitioner {
     }
 }
 
+/// Reusable per-run scratch buffers, hoisted out of the per-cycle hot
+/// loop so a run performs no allocations after setup: `pending` and
+/// `fetch_buf` are shared by the histogram and scatter passes, `lane_buf`
+/// backs [`InputData::fetch`]'s VRID/RLE tuple assembly (previously a
+/// fresh `Vec` per fetched line — the dominant allocation churn of large
+/// cycle-accurate runs).
+pub(crate) struct SimScratch<T: Tuple> {
+    pub(crate) pending: std::collections::VecDeque<Line<T>>,
+    pub(crate) fetch_buf: Vec<Line<T>>,
+    pub(crate) lane_buf: Vec<T>,
+}
+
+impl<T: Tuple> SimScratch<T> {
+    pub(crate) fn new(expansion: usize) -> Self {
+        Self {
+            pending: std::collections::VecDeque::with_capacity(expansion * 8),
+            fetch_buf: Vec::with_capacity(expansion),
+            lane_buf: Vec::with_capacity(T::LANES),
+        }
+    }
+
+    /// Reset between passes (buffers keep their capacity).
+    fn reset(&mut self) {
+        self.pending.clear();
+        self.fetch_buf.clear();
+        self.lane_buf.clear();
+    }
+}
+
 /// RID (rows) vs VRID (bare keys) vs RLE-compressed-VRID input data.
-enum InputData<'a, T: Tuple> {
+pub(crate) enum InputData<'a, T: Tuple> {
     Rows(&'a [T]),
     Keys(&'a [T::K]),
     /// Run-length-encoded key column: the circuit reads packed runs and
@@ -390,7 +444,7 @@ fn runs_per_line<K: fpart_types::Key>() -> usize {
 }
 
 impl<T: Tuple> InputData<'_, T> {
-    fn tuple_count(&self) -> usize {
+    pub(crate) fn tuple_count(&self) -> usize {
         match self {
             Self::Rows(r) => r.len(),
             Self::Keys(k) => k.len(),
@@ -399,7 +453,7 @@ impl<T: Tuple> InputData<'_, T> {
     }
 
     /// Cache lines the FPGA must *read* for this input.
-    fn input_lines(&self) -> usize {
+    pub(crate) fn input_lines(&self) -> usize {
         match self {
             Self::Rows(r) => r.len().div_ceil(T::LANES),
             Self::Keys(k) => {
@@ -413,7 +467,7 @@ impl<T: Tuple> InputData<'_, T> {
     /// Tuple lines generated inside the circuit per input line ("for each
     /// cache-line the FPGA receives, two cache-lines are generated
     /// internally", Section 4.7 — general for all widths).
-    fn expansion(&self) -> usize {
+    pub(crate) fn expansion(&self) -> usize {
         match self {
             Self::Rows(_) => 1,
             Self::Keys(_) => {
@@ -428,7 +482,10 @@ impl<T: Tuple> InputData<'_, T> {
     }
 
     /// Materialise the tuple lines for input line `idx` into `sink`.
-    fn fetch(&self, idx: usize, sink: &mut Vec<Line<T>>) {
+    /// `lane_buf` is caller-provided scratch (cleared here) so the hot
+    /// loop never allocates.
+    pub(crate) fn fetch(&self, idx: usize, sink: &mut Vec<Line<T>>, lane_buf: &mut Vec<T>) {
+        lane_buf.clear();
         match self {
             Self::Rows(rows) => {
                 let start = idx * T::LANES;
@@ -441,13 +498,12 @@ impl<T: Tuple> InputData<'_, T> {
                 let end = (start + keys_per_line).min(keys.len());
                 // The circuit appends the key's position as the virtual
                 // record id (Section 4.5).
-                let mut lane_buf: Vec<T> = Vec::with_capacity(T::LANES);
                 for chunk_start in (start..end).step_by(T::LANES) {
                     lane_buf.clear();
                     for pos in chunk_start..(chunk_start + T::LANES).min(end) {
                         lane_buf.push(T::new(keys[pos], pos as u64));
                     }
-                    sink.push(Line::from_partial(&lane_buf));
+                    sink.push(Line::from_partial(lane_buf));
                 }
             }
             Self::RleKeys {
@@ -457,19 +513,18 @@ impl<T: Tuple> InputData<'_, T> {
                 let start = idx * rpl;
                 let end = (start + rpl).min(runs.len());
                 let mut pos = line_offsets[idx];
-                let mut lane_buf: Vec<T> = Vec::with_capacity(T::LANES);
                 for &(key, len) in &runs[start..end] {
                     for _ in 0..len {
                         lane_buf.push(T::new(key, pos));
                         pos += 1;
                         if lane_buf.len() == T::LANES {
-                            sink.push(Line::from_slice(&lane_buf));
+                            sink.push(Line::from_slice(lane_buf));
                             lane_buf.clear();
                         }
                     }
                 }
                 if !lane_buf.is_empty() {
-                    sink.push(Line::from_partial(&lane_buf));
+                    sink.push(Line::from_partial(lane_buf));
                 }
             }
         }
@@ -478,7 +533,7 @@ impl<T: Tuple> InputData<'_, T> {
 
 /// Construct the page table mapping the input and (upper-bound) output
 /// virtual regions.
-fn build_pagetable<T: Tuple>(
+pub(crate) fn build_pagetable<T: Tuple>(
     input: &InputData<'_, T>,
     parts: usize,
     n: usize,
@@ -524,6 +579,7 @@ impl HistogramPass {
         qpi_cfg: QpiConfig,
         input: &InputData<'_, T>,
         injector: Option<&FaultInjector>,
+        scratch: &mut SimScratch<T>,
     ) -> Result<Self> {
         let parts = cfg.partitions();
         let mut qpi = QpiEndpoint::new(qpi_cfg);
@@ -538,8 +594,12 @@ impl HistogramPass {
         let total_lines = input.input_lines();
         let expansion = input.expansion();
         let mut read_cursor = 0usize;
-        let mut pending: std::collections::VecDeque<Line<T>> = Default::default();
-        let mut fetch_buf: Vec<Line<T>> = Vec::with_capacity(expansion);
+        scratch.reset();
+        let SimScratch {
+            pending,
+            fetch_buf,
+            lane_buf,
+        } = scratch;
         let mut cycles = 0u64;
 
         loop {
@@ -569,7 +629,7 @@ impl HistogramPass {
             // Accept one read response.
             if let Some(tag) = qpi.pop_ready_read() {
                 fetch_buf.clear();
-                input.fetch(tag as usize, &mut fetch_buf);
+                input.fetch(tag as usize, fetch_buf, lane_buf);
                 pending.extend(fetch_buf.drain(..));
             }
 
@@ -683,12 +743,17 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
         &mut self,
         out: &mut PartitionedRelation<T>,
         pagetable: &mut PageTable,
+        scratch: &mut SimScratch<T>,
     ) -> Result<ScatterResult> {
         let total_lines = self.input.input_lines();
         let expansion = self.input.expansion();
         let mut read_cursor = 0usize;
-        let mut pending: std::collections::VecDeque<Line<T>> = Default::default();
-        let mut fetch_buf: Vec<Line<T>> = Vec::with_capacity(expansion);
+        scratch.reset();
+        let SimScratch {
+            pending,
+            fetch_buf,
+            lane_buf,
+        } = scratch;
         let mut cycles = 0u64;
         let mut flushing = false;
         let mut lines_written: Vec<u64> = vec![0; out.num_partitions()];
@@ -774,7 +839,7 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             // (5) Read responses.
             if let Some(tag) = self.qpi.pop_ready_read() {
                 fetch_buf.clear();
-                self.input.fetch(tag as usize, &mut fetch_buf);
+                self.input.fetch(tag as usize, fetch_buf, lane_buf);
                 pending.extend(fetch_buf.drain(..));
             }
 
@@ -884,6 +949,7 @@ mod tests {
             input,
             fifo_capacity: 64,
             out_fifo_capacity: 8,
+            fidelity: SimFidelity::CycleAccurate,
         }
     }
 
@@ -988,6 +1054,7 @@ mod tests {
             input: InputMode::Rid,
             fifo_capacity: 64,
             out_fifo_capacity: 8,
+            fidelity: SimFidelity::CycleAccurate,
         };
         let p = FpgaPartitioner::new(cfg);
         let err = p.partition(&r).unwrap_err();
@@ -1109,6 +1176,7 @@ mod tests {
             input: InputMode::Rid,
             fifo_capacity: 64,
             out_fifo_capacity: 8,
+            fidelity: SimFidelity::CycleAccurate,
         };
         let f = cfg.partition_fn;
         let p = FpgaPartitioner::new(cfg);

@@ -3,7 +3,9 @@
 
 use fpart_fpga::hashmod::HashedTuple;
 use fpart_fpga::writecomb::WriteCombiner;
-use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig};
+use fpart_fpga::{
+    FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity,
+};
 use fpart_hash::PartitionFn;
 use fpart_hwsim::QpiConfig;
 use fpart_types::relation::content_checksum;
@@ -16,6 +18,7 @@ fn config(bits: u32, output: OutputMode) -> PartitionerConfig {
         input: InputMode::Rid,
         fifo_capacity: 64,
         out_fifo_capacity: 8,
+        fidelity: SimFidelity::CycleAccurate,
     }
 }
 

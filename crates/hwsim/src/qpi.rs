@@ -65,6 +65,38 @@ impl QpiConfig {
             mix_update_interval: u64::MAX,
         }
     }
+
+    /// Steady-state credit rate (bytes per FPGA cycle) for a transfer whose
+    /// read-per-write ratio is `r` — what the adaptive token bucket
+    /// converges to once its mix window reflects the phase's traffic.
+    pub fn steady_bytes_per_cycle(&self, r: f64) -> f64 {
+        self.curve.bytes_per_sec(RwMix::from_r(r)) / self.clock_hz
+    }
+
+    /// Fast-forward cycle count: cycles the token bucket needs to grant
+    /// `lines_read + lines_written` 64 B line operations in steady state.
+    ///
+    /// This is the analytic counterpart of ticking the endpoint once per
+    /// cycle: in steady state the bucket deposits
+    /// `steady_bytes_per_cycle(r)` per cycle and every grant debits 64 B,
+    /// so the link-bound duration of a phase is simply `total bytes /
+    /// rate`. The credit cap only shapes bursts, not sustained throughput,
+    /// and the warm-up window (the bucket starts from the balanced-mix
+    /// rate until the first refresh) is bounded by
+    /// [`QpiConfig::mix_update_interval`] cycles — callers fold that into
+    /// their slack.
+    pub fn link_cycles(&self, lines_read: u64, lines_written: u64) -> u64 {
+        if lines_read + lines_written == 0 {
+            return 0;
+        }
+        let r = if lines_written == 0 {
+            f64::INFINITY
+        } else {
+            lines_read as f64 / lines_written as f64
+        };
+        let bytes = ((lines_read + lines_written) * CACHE_LINE_BYTES as u64) as f64;
+        (bytes / self.steady_bytes_per_cycle(r)).ceil() as u64
+    }
 }
 
 /// Counters exposed by the endpoint.
@@ -285,6 +317,35 @@ impl QpiEndpoint {
         self.stats
     }
 
+    /// Fast-forward the endpoint over a whole phase: account
+    /// `lines_read + lines_written` granted line operations in bulk and
+    /// advance the clock by the steady-state cycle count from
+    /// [`QpiConfig::link_cycles`]. Returns the cycles consumed.
+    ///
+    /// This is the batched-fidelity replacement for ticking
+    /// [`QpiEndpoint::tick`] once per cycle: the counters and the clock
+    /// end up where a steady-state cycle-accurate run would leave them,
+    /// without the per-cycle token arithmetic. Per-cycle observables
+    /// (stall counters, in-flight reads) are not modelled — the batched
+    /// caller derives stalls analytically from the circuit/link bound gap.
+    ///
+    /// # Panics
+    /// Panics if a fault schedule is armed: fast-forwarding would skip the
+    /// scheduled transients, so fault runs must stay cycle-accurate.
+    pub fn fast_forward(&mut self, lines_read: u64, lines_written: u64) -> u64 {
+        assert!(
+            self.faults.is_none(),
+            "fast-forward over an armed fault schedule would skip its transients"
+        );
+        let cycles = self.config.link_cycles(lines_read, lines_written);
+        self.cycle += cycles;
+        self.stats.lines_read += lines_read;
+        self.stats.lines_written += lines_written;
+        self.ops_granted += lines_read + lines_written;
+        self.credit = 0.0;
+        cycles
+    }
+
     /// Re-derive the credit rate from the read/write mix achieved since
     /// the previous refresh (sliding window, so distinct phases of a run
     /// each settle on their own operating point).
@@ -471,6 +532,61 @@ mod tests {
             assert_eq!(a.try_write(), b.try_write());
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn link_cycles_matches_ticked_endpoint() {
+        // 6.4 GB/s at 200 MHz = 32 B/cycle → 10_000 reads need ~20_000
+        // cycles; the analytic fast-forward must agree with a ticked run
+        // to within the warm-up window.
+        let cfg = QpiConfig {
+            curve: fixed_curve(6.4),
+            clock_hz: 200e6,
+            read_latency: 1,
+            max_credit: 64.0,
+            mix_update_interval: 256,
+        };
+        let analytic = cfg.link_cycles(10_000, 0);
+        let mut qpi = QpiEndpoint::new(cfg);
+        let mut granted = 0u64;
+        let mut cycles = 0u64;
+        while granted < 10_000 {
+            qpi.tick();
+            cycles += 1;
+            if qpi.try_read(granted) {
+                granted += 1;
+            }
+        }
+        let diff = cycles.abs_diff(analytic);
+        assert!(
+            diff <= 260,
+            "ticked {cycles} vs analytic {analytic} (diff {diff})"
+        );
+    }
+
+    #[test]
+    fn fast_forward_accounts_stats_and_clock() {
+        let cfg = QpiConfig::harp(fixed_curve(6.4));
+        let mut qpi = QpiEndpoint::new(cfg.clone());
+        let cycles = qpi.fast_forward(1000, 500);
+        assert_eq!(cycles, cfg.link_cycles(1000, 500));
+        assert_eq!(qpi.now(), cycles);
+        assert_eq!(qpi.stats().lines_read, 1000);
+        assert_eq!(qpi.stats().lines_written, 500);
+        // Mix-dependence: a write-heavy phase is slower per byte on the
+        // FPGA curve than a pure-read phase of the same volume.
+        let curve = fpart_memmodel::BandwidthCurve::fpga_alone();
+        let harp = QpiConfig::harp(curve);
+        assert!(harp.link_cycles(0, 1500) > harp.link_cycles(1500, 0));
+        assert_eq!(harp.link_cycles(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault schedule")]
+    fn fast_forward_refuses_armed_faults() {
+        let mut qpi = QpiEndpoint::new(QpiConfig::unlimited(200e6));
+        qpi.inject_faults(crate::fault::QpiFaultSchedule::new(vec![(0, 1)]));
+        qpi.fast_forward(1, 0);
     }
 
     #[test]

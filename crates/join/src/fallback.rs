@@ -284,7 +284,7 @@ impl EscalationChain {
 mod tests {
     use super::*;
     use fpart_datagen::KeyDistribution;
-    use fpart_fpga::{InputMode, PaddingSpec, PartitionerConfig};
+    use fpart_fpga::{InputMode, PaddingSpec, PartitionerConfig, SimFidelity};
     use fpart_hash::PartitionFn;
     use fpart_hwsim::{Fault, FaultPlan, QpiConfig};
     use fpart_types::{Relation, Tuple8};
@@ -298,6 +298,7 @@ mod tests {
             input: InputMode::Rid,
             fifo_capacity: 64,
             out_fifo_capacity: 8,
+            fidelity: SimFidelity::CycleAccurate,
         }
     }
 

@@ -228,7 +228,7 @@ mod tests {
     use crate::buildprobe::reference_join;
     use crate::radix::CpuRadixJoin;
     use fpart_datagen::WorkloadId;
-    use fpart_fpga::{InputMode, OutputMode, PaddingSpec};
+    use fpart_fpga::{InputMode, OutputMode, PaddingSpec, SimFidelity};
     use fpart_hash::PartitionFn;
     use fpart_types::Tuple8;
 
@@ -239,6 +239,7 @@ mod tests {
             input: InputMode::Rid,
             fifo_capacity: 64,
             out_fifo_capacity: 8,
+            fidelity: SimFidelity::CycleAccurate,
         }
     }
 

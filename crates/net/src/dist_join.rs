@@ -7,7 +7,7 @@
 //! exactly like a two-pass radix join (Barthels et al.'s structure).
 
 use fpart_cpu::CpuPartitioner;
-use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig};
+use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig, SimFidelity};
 use fpart_hash::PartitionFn;
 use fpart_join::buildprobe::build_probe_all;
 use fpart_join::radix::JoinResult;
@@ -83,6 +83,10 @@ pub struct DistributedJoin {
     pub network: NetworkModel,
     /// Threads for local joins (per node, on this host).
     pub threads: usize,
+    /// Simulation fidelity for FPGA node partitioners. Both fidelities
+    /// produce identical partitioned bytes; batched computes the cycle
+    /// count analytically instead of ticking the circuit.
+    pub fidelity: SimFidelity,
 }
 
 impl DistributedJoin {
@@ -96,7 +100,15 @@ impl DistributedJoin {
             partitioner: NodePartitioner::Fpga,
             network: NetworkModel::fdr_infiniband(),
             threads: 1,
+            fidelity: SimFidelity::default(),
         }
+    }
+
+    /// Select the FPGA simulation fidelity for node partitioners.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
     }
 
     /// Hash bits selecting the node.
@@ -140,7 +152,8 @@ impl DistributedJoin {
                 let config = PartitionerConfig {
                     partition_fn: self.node_fn(),
                     ..PartitionerConfig::paper_default(OutputMode::Hist, InputMode::Rid)
-                };
+                }
+                .with_fidelity(self.fidelity);
                 let (parts, report) = FpgaPartitioner::new(config).partition(share)?;
                 Ok((parts, report.seconds()))
             }

@@ -5,7 +5,9 @@
 //! histogram identical to a fault-free CPU run, and the same plan must
 //! reproduce the identical degradation report twice.
 
-use fpart::fpga::{FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig};
+use fpart::fpga::{
+    FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity,
+};
 use fpart::hwsim::{Fault, FaultPlan, FaultSpec};
 use fpart::join::fallback::{AttemptPath, AttemptRecord, DegradationReport, EscalationChain};
 use fpart::join::hybrid::FallbackPolicy;
@@ -22,6 +24,7 @@ fn pad_cfg(bits: u32, pad: usize) -> PartitionerConfig {
         input: InputMode::Rid,
         fifo_capacity: 64,
         out_fifo_capacity: 8,
+        fidelity: SimFidelity::CycleAccurate,
     }
 }
 
