@@ -134,13 +134,7 @@ pub fn sim_points(
             } else {
                 mode.label().to_string()
             };
-            crate::record::emit(
-                figure,
-                &point,
-                report.mtuples_per_sec(),
-                report.total_cycles(),
-                wall,
-            );
+            crate::record::emit_report(figure, &point, &report, wall);
             report
         })
         .collect()

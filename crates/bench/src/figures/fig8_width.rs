@@ -84,13 +84,7 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         (job(), t0.elapsed().as_secs_f64())
     });
     for (w, (report, wall)) in widths.iter().zip(&reports) {
-        crate::record::emit(
-            "fig8",
-            &format!("{w}B"),
-            report.mtuples_per_sec(),
-            report.total_cycles(),
-            *wall,
-        );
+        crate::record::emit_report("fig8", &format!("{w}B"), report, *wall);
         t.row(vec![
             format!("{w}B"),
             fnum(model.p_total((n / (w / 8)) as u64, *w, ModePair::HistRid) / 1e6),

@@ -81,13 +81,7 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         (report, t0.elapsed().as_secs_f64())
     });
     for (gbps, (report, wall)) in gbps_axis.iter().zip(spot) {
-        crate::record::emit(
-            "whatif",
-            &format!("{gbps} GB/s"),
-            report.mtuples_per_sec(),
-            report.total_cycles(),
-            wall,
-        );
+        crate::record::emit_report("whatif", &format!("{gbps} GB/s"), &report, wall);
         v.row(vec![
             fnum(*gbps),
             fnum(sweep.throughput(*gbps, 200e6) / 1e6),

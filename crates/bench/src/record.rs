@@ -23,19 +23,57 @@ pub struct PointRecord {
     pub cycles: u64,
     /// Host wall-clock seconds spent producing the point.
     pub wall_s: f64,
+    /// Simulated cycles the device's read port spent stalled on the link
+    /// (scatter + histogram passes; 0 for points without a stall
+    /// breakdown, e.g. measured CPU points).
+    pub read_stall_cycles: u64,
+    /// Simulated cycles the write port spent stalled on the link.
+    pub write_stall_cycles: u64,
 }
 
 static RECORDS: Mutex<Vec<PointRecord>> = Mutex::new(Vec::new());
 
 /// Append one record to the process-global collector.
 pub fn emit(figure: &str, point: &str, mtuples_per_s: f64, cycles: u64, wall_s: f64) {
+    emit_with_stalls(figure, point, mtuples_per_s, cycles, wall_s, 0, 0);
+}
+
+/// [`emit`] with the simulated stall breakdown attached.
+pub fn emit_with_stalls(
+    figure: &str,
+    point: &str,
+    mtuples_per_s: f64,
+    cycles: u64,
+    wall_s: f64,
+    read_stall_cycles: u64,
+    write_stall_cycles: u64,
+) {
     RECORDS.lock().unwrap().push(PointRecord {
         figure: figure.to_string(),
         point: point.to_string(),
         mtuples_per_s,
         cycles,
         wall_s,
+        read_stall_cycles,
+        write_stall_cycles,
     });
+}
+
+/// Emit one record straight from a simulated FPGA run report, pulling
+/// throughput, cycles and the stall breakdown from its observability
+/// snapshot (read stalls sum the scatter and histogram passes).
+pub fn emit_report(figure: &str, point: &str, report: &fpart_fpga::RunReport, wall_s: f64) {
+    use fpart::obs::Ctr;
+    let obs = &report.obs;
+    emit_with_stalls(
+        figure,
+        point,
+        report.mtuples_per_sec(),
+        report.total_cycles(),
+        wall_s,
+        obs.get(Ctr::RdStall) + obs.get(Ctr::HistRdStall),
+        obs.get(Ctr::WrStall),
+    );
 }
 
 /// Drain every record emitted so far (in emission order).
@@ -74,12 +112,14 @@ pub fn to_json(records: &[PointRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"figure\": \"{}\", \"point\": \"{}\", \"mtuples_per_s\": {}, \"cycles\": {}, \"wall_s\": {}}}{}\n",
+            "  {{\"figure\": \"{}\", \"point\": \"{}\", \"mtuples_per_s\": {}, \"cycles\": {}, \"wall_s\": {}, \"read_stall_cycles\": {}, \"write_stall_cycles\": {}}}{}\n",
             json_escape(&r.figure),
             json_escape(&r.point),
             json_f64(r.mtuples_per_s),
             r.cycles,
             json_f64(r.wall_s),
+            r.read_stall_cycles,
+            r.write_stall_cycles,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -89,7 +129,9 @@ pub fn to_json(records: &[PointRecord]) -> String {
 
 /// Parse a JSON array previously produced by [`to_json`] (or an
 /// equivalently-shaped file). This is a tolerant, purpose-built reader —
-/// it extracts the five known keys per object and ignores anything else.
+/// it extracts the known keys per object and ignores anything else, so
+/// baseline files written before the stall-cycle keys existed still
+/// parse (the missing numbers default to 0).
 pub fn from_json(text: &str) -> Vec<PointRecord> {
     let mut records = Vec::new();
     for obj in split_objects(text) {
@@ -104,6 +146,8 @@ pub fn from_json(text: &str) -> Vec<PointRecord> {
             mtuples_per_s: number_field(&obj, "mtuples_per_s").unwrap_or(0.0),
             cycles: number_field(&obj, "cycles").unwrap_or(0.0) as u64,
             wall_s: number_field(&obj, "wall_s").unwrap_or(0.0),
+            read_stall_cycles: number_field(&obj, "read_stall_cycles").unwrap_or(0.0) as u64,
+            write_stall_cycles: number_field(&obj, "write_stall_cycles").unwrap_or(0.0) as u64,
         });
     }
     records
@@ -204,6 +248,8 @@ mod tests {
                 mtuples_per_s: 514.25,
                 cycles: 123_456_789,
                 wall_s: 0.125,
+                read_stall_cycles: 1000,
+                write_stall_cycles: 250,
             },
             PointRecord {
                 figure: "suite".into(),
@@ -211,6 +257,8 @@ mod tests {
                 mtuples_per_s: 0.0,
                 cycles: 0,
                 wall_s: 20.5,
+                read_stall_cycles: 0,
+                write_stall_cycles: 0,
             },
         ];
         let parsed = from_json(&to_json(&records));
@@ -219,6 +267,8 @@ mod tests {
         assert_eq!(parsed[0].point, "PAD/VRID");
         assert!((parsed[0].mtuples_per_s - 514.25).abs() < 1e-6);
         assert_eq!(parsed[0].cycles, 123_456_789);
+        assert_eq!(parsed[0].read_stall_cycles, 1000);
+        assert_eq!(parsed[0].write_stall_cycles, 250);
         assert_eq!(parsed[1].point, "total \"quoted\"");
         assert!((parsed[1].wall_s - 20.5).abs() < 1e-6);
     }
@@ -234,5 +284,19 @@ mod tests {
         assert_eq!(parsed[0].figure, "fig8");
         assert!((parsed[0].mtuples_per_s - 150.0).abs() < 1e-9);
         assert_eq!(parsed[0].cycles, 42);
+    }
+
+    #[test]
+    fn parses_pre_stall_schema_baselines() {
+        // A baseline written before the stall keys existed must keep
+        // parsing, with the missing counters defaulting to zero.
+        let text = r#"[
+          {"figure": "fig9", "point": "PAD/RID", "mtuples_per_s": 500.0,
+           "cycles": 100, "wall_s": 0.5}
+        ]"#;
+        let parsed = from_json(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].read_stall_cycles, 0);
+        assert_eq!(parsed[0].write_stall_cycles, 0);
     }
 }

@@ -1,0 +1,77 @@
+//! Golden test: the `figures --json` record schema is stable.
+//!
+//! `BENCH_figures.json` is a committed artifact that the `--baseline`
+//! regression gate diffs against, so both directions of the schema are
+//! pinned here: the serializer's byte layout against a golden file, and
+//! the parser's tolerance for baselines written before the stall-cycle
+//! keys existed.
+
+use fpart_bench::record::{from_json, to_json, PointRecord};
+
+const GOLDEN: &str = include_str!("golden/figures_points.json");
+
+fn sample_records() -> Vec<PointRecord> {
+    vec![
+        PointRecord {
+            figure: "fig9".into(),
+            point: "PAD/VRID".into(),
+            mtuples_per_s: 514.25,
+            cycles: 123_456_789,
+            wall_s: 0.125,
+            read_stall_cycles: 1000,
+            write_stall_cycles: 250,
+        },
+        PointRecord {
+            figure: "fig9".into(),
+            point: "CPU measured".into(),
+            mtuples_per_s: 480.5,
+            cycles: 0,
+            wall_s: 1.5,
+            read_stall_cycles: 0,
+            write_stall_cycles: 0,
+        },
+        PointRecord {
+            figure: "suite".into(),
+            point: "total".into(),
+            mtuples_per_s: 0.0,
+            cycles: 0,
+            wall_s: 20.5,
+            read_stall_cycles: 0,
+            write_stall_cycles: 0,
+        },
+    ]
+}
+
+#[test]
+fn figures_json_matches_golden() {
+    assert_eq!(
+        to_json(&sample_records()),
+        GOLDEN,
+        "figures --json record layout diverged from the committed \
+         golden; if the schema change is intentional, regenerate \
+         crates/bench/tests/golden/figures_points.json"
+    );
+}
+
+#[test]
+fn figures_json_round_trips() {
+    let records = sample_records();
+    let parsed = from_json(&to_json(&records));
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn committed_baseline_parses() {
+    // The real artifact at the repo root must stay readable by the
+    // regression gate, whichever schema generation wrote it.
+    let text = include_str!("../../../BENCH_figures.json");
+    let parsed = from_json(text);
+    assert!(
+        !parsed.is_empty(),
+        "BENCH_figures.json parsed to no records"
+    );
+    assert!(
+        parsed.iter().any(|r| r.figure == "fig9"),
+        "baseline should cover fig9"
+    );
+}

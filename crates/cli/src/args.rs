@@ -18,6 +18,7 @@ commands:
   sort        sort a generated relation via partitioning
   model       print the Section 4.6 analytical prediction
   faults      sweep fault-injection points through the degradation chain
+  trace       run one simulated partitioning and dump its observability snapshot
   help        show this text
 
 common flags:
@@ -61,6 +62,12 @@ sort flags:
 model flags:
   --mode <m>            as above (default pad/rid)
   --gbps <g>            override link bandwidth (flat curve)
+
+trace flags:
+  --mode <m>            hist/rid|hist/vrid|pad/rid|pad/vrid (default hist/rid)
+  --fn <f>              radix|murmur (default murmur)
+  --level <l>           off|counters|trace observability level (default trace)
+  --json                emit the snapshot as JSON on stdout (stable schema)
 
 faults flags:
   --sweep <k>           PAD-overflow injection points to sweep (default 8)
@@ -206,6 +213,25 @@ pub enum Command {
         /// Escalation policy (`None` = the full PAD → HIST → CPU chain).
         policy: Option<FallbackPolicy>,
     },
+    /// `fpart trace`.
+    Trace {
+        /// Tuples.
+        n: usize,
+        /// Distribution.
+        dist: KeyDistribution,
+        /// Seed.
+        seed: u64,
+        /// Partition bits.
+        bits: u32,
+        /// radix or murmur.
+        hash: bool,
+        /// FPGA mode pair.
+        mode: ModePair,
+        /// Observability level for the run.
+        level: ObsLevel,
+        /// Emit the snapshot as JSON instead of human-readable text.
+        json: bool,
+    },
     /// `fpart help`.
     Help,
 }
@@ -298,6 +324,16 @@ fn default_threads() -> usize {
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("missing command".into());
+    };
+    // `--json` (trace) is the one valueless flag in the surface; strip it
+    // before the pair-wise parse.
+    let json = cmd == "trace" && rest.iter().any(|a| a == "--json");
+    let filtered: Vec<String>;
+    let rest: &[String] = if json {
+        filtered = rest.iter().filter(|a| *a != "--json").cloned().collect();
+        &filtered
+    } else {
+        rest
     };
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
@@ -468,6 +504,28 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 },
             })
         }
+        "trace" => {
+            flags.unknown_check(&["n", "dist", "seed", "bits", "fn", "mode", "level"])?;
+            Ok(Command::Trace {
+                n: flags.num("n", 65_536)?,
+                dist: parse_dist(flags.get("dist"))?,
+                seed: flags.num("seed", 42)?,
+                bits: flags.num("bits", 6)?,
+                hash: match flags.get("fn").unwrap_or("murmur") {
+                    "murmur" | "hash" => true,
+                    "radix" => false,
+                    other => return Err(format!("--fn: unknown function {other:?}")),
+                },
+                mode: parse_mode(Some(flags.get("mode").unwrap_or("hist/rid")))?,
+                level: match flags.get("level") {
+                    None => ObsLevel::Trace,
+                    Some(v) => {
+                        ObsLevel::parse(v).ok_or_else(|| format!("--level: unknown level {v:?}"))?
+                    }
+                },
+                json,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -619,6 +677,57 @@ mod tests {
         assert!(parse(&argv("faults --sweep 0")).is_err());
         assert!(parse(&argv("faults --policy never")).is_err());
         assert!(parse(&argv("faults --gbps 1.0")).is_err());
+    }
+
+    #[test]
+    fn trace_defaults_and_flags() {
+        let cmd = parse(&argv("trace")).unwrap();
+        match cmd {
+            Command::Trace {
+                n,
+                bits,
+                mode,
+                level,
+                json,
+                ..
+            } => {
+                assert_eq!(n, 65_536);
+                assert_eq!(bits, 6);
+                assert_eq!(mode, ModePair::HistRid);
+                assert_eq!(level, ObsLevel::Trace);
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "trace --json --n 1000 --mode pad/vrid --level counters --fn radix",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Trace {
+                n,
+                mode,
+                level,
+                json,
+                hash,
+                ..
+            } => {
+                assert_eq!(n, 1000);
+                assert_eq!(mode, ModePair::PadVrid);
+                assert_eq!(level, ObsLevel::Counters);
+                assert!(json);
+                assert!(!hash);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_rejects_bad_flags() {
+        assert!(parse(&argv("trace --level verbose")).is_err());
+        assert!(parse(&argv("trace --sweep 2")).is_err());
+        // --json is only valueless under trace.
+        assert!(parse(&argv("partition --json")).is_err());
     }
 
     #[test]

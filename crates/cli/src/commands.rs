@@ -85,6 +85,119 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             burst,
             policy,
         }),
+        Command::Trace {
+            n,
+            dist,
+            seed,
+            bits,
+            hash,
+            mode,
+            level,
+            json,
+        } => trace(n, dist, seed, bits, hash, mode, level, json),
+    }
+}
+
+/// Run one cycle-accurate partitioning with observability turned up and
+/// dump the snapshot: JSON (stable schema, used by the golden tests) or a
+/// human-readable counter/stall/trace breakdown.
+#[allow(clippy::too_many_arguments)]
+fn trace(
+    n: usize,
+    dist: KeyDistribution,
+    seed: u64,
+    bits: u32,
+    hash: bool,
+    mode: ModePair,
+    level: ObsLevel,
+    json: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use fpart::obs::Ctr;
+
+    let f = partition_fn(hash, bits);
+    let (output, input) = mode_pair(mode);
+    let config = PartitionerConfig {
+        partition_fn: f,
+        ..PartitionerConfig::paper_default(output, input)
+    }
+    .with_fidelity(SimFidelity::CycleAccurate)
+    .with_obs(level);
+    let keys = dist.generate_keys::<u32>(n, seed);
+    let partitioner = FpgaPartitioner::new(config);
+    let (_, report) = if input == InputMode::Vrid {
+        partitioner.partition_columns(&ColumnRelation::<Tuple8>::from_keys(&keys))?
+    } else {
+        partitioner.partition(&Relation::<Tuple8>::from_keys(&keys))?
+    };
+
+    if json {
+        println!("{}", report.obs.to_json());
+        return Ok(());
+    }
+
+    println!(
+        "trace: {} of {n} {} tuples, {} partitions, level {}",
+        report.mode,
+        dist.label(),
+        f.fan_out(),
+        level.label()
+    );
+    println!(
+        "cycles: {} hist + {} scatter = {} total ({:.1} Mtuples/s simulated)",
+        report.hist_cycles,
+        report.scatter_cycles,
+        report.total_cycles(),
+        report.mtuples_per_sec()
+    );
+    let c = |ctr: Ctr| report.obs.get(ctr);
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+    let sc = c(Ctr::ScatterCycles);
+    println!(
+        "scatter read port:  {:.1}% busy, {:.1}% stalled, {:.1}% throttled, {:.1}% idle",
+        pct(c(Ctr::RdBusy), sc),
+        pct(c(Ctr::RdStall), sc),
+        pct(c(Ctr::RdThrottled), sc),
+        pct(c(Ctr::RdIdle), sc)
+    );
+    println!(
+        "scatter write port: {:.1}% busy, {:.1}% stalled, {:.1}% idle",
+        pct(c(Ctr::WrBusy), sc),
+        pct(c(Ctr::WrStall), sc),
+        pct(c(Ctr::WrIdle), sc)
+    );
+    println!("counters (nonzero):");
+    for (ctr, v) in report.obs.counters.nonzero() {
+        println!("  {:<26} {v}", ctr.name());
+    }
+    if !report.obs.events.is_empty() {
+        println!(
+            "stage events ({} recorded, {} dropped):",
+            report.obs.events.len(),
+            report.obs.dropped_events
+        );
+        for e in &report.obs.events {
+            println!(
+                "  @{:<10} {:<8} {:<12} {}",
+                e.cycle, e.stage, e.event, e.value
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Map a cost-model mode pair onto the partitioner's two binary knobs.
+fn mode_pair(mode: ModePair) -> (OutputMode, InputMode) {
+    match mode {
+        ModePair::HistRid => (OutputMode::Hist, InputMode::Rid),
+        ModePair::HistVrid => (OutputMode::Hist, InputMode::Vrid),
+        ModePair::PadRid => (OutputMode::pad_default(), InputMode::Rid),
+        ModePair::PadVrid => (OutputMode::pad_default(), InputMode::Vrid),
     }
 }
 
@@ -359,12 +472,7 @@ fn partition(
             print_balance(parts.histogram());
         }
         Backend::Fpga => {
-            let (output, input) = match mode {
-                ModePair::HistRid => (OutputMode::Hist, InputMode::Rid),
-                ModePair::HistVrid => (OutputMode::Hist, InputMode::Vrid),
-                ModePair::PadRid => (OutputMode::pad_default(), InputMode::Rid),
-                ModePair::PadVrid => (OutputMode::pad_default(), InputMode::Vrid),
-            };
+            let (output, input) = mode_pair(mode);
             let config = PartitionerConfig {
                 partition_fn: f,
                 ..PartitionerConfig::paper_default(output, input)

@@ -1,0 +1,65 @@
+//! Golden test: the `fpart trace --json` schema is stable.
+//!
+//! The JSON snapshot is part of the tool's public surface — scripts and
+//! the figure harness parse it — so its byte layout is pinned against a
+//! committed golden file. The serializer emits every counter key in
+//! declaration order, which is what makes byte-for-byte comparison
+//! meaningful. Regenerate with:
+//!
+//! ```text
+//! cargo run -p fpart-cli -- trace --json --n 4096 --bits 5 \
+//!     > crates/cli/tests/golden/trace.json
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/trace.json");
+
+fn run_trace(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fpart"))
+        .args(args)
+        .output()
+        .expect("spawn fpart");
+    assert!(
+        out.status.success(),
+        "fpart {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn trace_json_matches_golden() {
+    let stdout = run_trace(&["trace", "--json", "--n", "4096", "--bits", "5"]);
+    assert_eq!(
+        stdout, GOLDEN,
+        "fpart trace --json output diverged from the committed golden; \
+         if the schema change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn trace_json_round_trips_and_conserves() {
+    let stdout = run_trace(&[
+        "trace", "--json", "--n", "2048", "--bits", "4", "--seed", "7",
+    ]);
+    let snap = fpart::obs::ObsSnapshot::from_json(stdout.trim()).expect("parse trace JSON");
+    assert_eq!(
+        format!("{}\n", snap.to_json()),
+        stdout,
+        "serializer must round-trip byte-stably"
+    );
+    fpart::obs::asserts::assert_conserved(&snap);
+    assert_eq!(snap.get(fpart::obs::Ctr::TuplesIn), 2048);
+    assert!(!snap.events.is_empty(), "trace level records stage events");
+}
+
+#[test]
+fn trace_json_off_level_still_conserves() {
+    let stdout = run_trace(&[
+        "trace", "--json", "--n", "2048", "--bits", "4", "--level", "off",
+    ]);
+    let snap = fpart::obs::ObsSnapshot::from_json(stdout.trim()).expect("parse trace JSON");
+    fpart::obs::asserts::assert_conserved(&snap);
+    assert!(snap.events.is_empty(), "off level must not trace");
+}

@@ -37,6 +37,7 @@
 //! | [`datagen`] | the paper's key distributions and Table 4 workloads |
 //! | [`memmodel`] | Figure 2 bandwidth curves, Table 1 coherence model |
 //! | [`hwsim`] | FIFOs, BRAMs, QPI endpoint, page table |
+//! | [`obs`] | pipeline observability: counters, histograms, traces, conservation laws |
 //! | [`fpga`] | the partitioner circuit (Section 4) |
 //! | [`cpu`] | SWWCB / scalar / two-pass CPU partitioning (Section 3) |
 //! | [`join`] | radix hash join, hybrid join, aggregation (Section 5) |
@@ -55,6 +56,7 @@ pub use fpart_io as io;
 pub use fpart_join as join;
 pub use fpart_memmodel as memmodel;
 pub use fpart_net as net;
+pub use fpart_obs as obs;
 pub use fpart_types as types;
 
 mod partitioner;
@@ -67,13 +69,15 @@ pub mod prelude {
     pub use fpart_cpu::{CpuPartitioner, Strategy};
     pub use fpart_datagen::{KeyDistribution, Workload, WorkloadId};
     pub use fpart_fpga::{
-        FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity,
+        FpgaPartitioner, InputMode, ObsLevel, OutputMode, PaddingSpec, PartitionerConfig,
+        SimFidelity,
     };
     pub use fpart_hash::PartitionFn;
     pub use fpart_hwsim::{Fault, FaultPlan, FaultSpec};
     pub use fpart_join::{
         CpuRadixJoin, DegradationReport, EscalationChain, FallbackPolicy, HybridJoin,
     };
+    pub use fpart_obs::{ObsSnapshot, Recorder};
     pub use fpart_types::{
         ColumnRelation, FpartError, PartitionedRelation, Relation, Tuple, Tuple16, Tuple32,
         Tuple64, Tuple8,

@@ -18,7 +18,7 @@ pub enum PartitionStats {
     Cpu(fpart_cpu::CpuRunReport),
     /// FPGA back-end: simulated time at the circuit clock under the
     /// calibrated QPI model.
-    Fpga(fpart_fpga::RunReport),
+    Fpga(Box<fpart_fpga::RunReport>),
 }
 
 impl PartitionStats {
@@ -146,7 +146,7 @@ impl Partitioner {
             }
             Self::Fpga(p) => {
                 let (parts, report) = p.partition(rel)?;
-                Ok((parts, PartitionStats::Fpga(report)))
+                Ok((parts, PartitionStats::Fpga(Box::new(report))))
             }
         }
     }

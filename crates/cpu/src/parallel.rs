@@ -58,6 +58,13 @@ pub struct CpuRunReport {
     pub scatter_time: Duration,
     /// Data passes over the input (histogram + scatters).
     pub passes: usize,
+    /// Buffer-full SWWCB flushes summed over all scatter threads (0 for
+    /// scalar and two-pass strategies, which bypass the buffers).
+    pub swwcb_full_flushes: u64,
+    /// Drain-time partial SWWCB flushes summed over all scatter threads.
+    pub swwcb_partial_flushes: u64,
+    /// Cache lines written with non-temporal stores.
+    pub nt_store_lines: u64,
 }
 
 impl CpuRunReport {
@@ -69,6 +76,19 @@ impl CpuRunReport {
     /// Throughput in million tuples per second (end to end).
     pub fn mtuples_per_sec(&self) -> f64 {
         self.tuples as f64 / self.total_time().as_secs_f64() / 1e6
+    }
+
+    /// This report's volume counters as an observability counter set
+    /// (`tuples_in`/`tuples_out` plus the SWWCB flush accounting).
+    pub fn obs_counters(&self) -> fpart_obs::CounterSet {
+        use fpart_obs::Ctr;
+        let mut c = fpart_obs::CounterSet::default();
+        c.set(Ctr::TuplesIn, self.tuples);
+        c.set(Ctr::TuplesOut, self.tuples);
+        c.set(Ctr::SwwcbFullFlushes, self.swwcb_full_flushes);
+        c.set(Ctr::SwwcbPartialFlushes, self.swwcb_partial_flushes);
+        c.set(Ctr::SwwcbNtLines, self.nt_store_lines);
+        c
     }
 }
 
@@ -155,11 +175,15 @@ impl CpuPartitioner {
         let (global, bases) = histogram::thread_bases(&thread_hists);
         let mut out = PartitionedRelation::<T>::with_histogram(&global, false);
 
-        // Pass 2: scatter into disjoint extents.
+        // Pass 2: scatter into disjoint extents. Flush accounting merges
+        // through an atomic registry — the scatter threads are otherwise
+        // fully unsynchronised and stay that way.
         let t1 = Instant::now();
+        let flush_reg = fpart_obs::AtomicRegistry::new();
         {
             let writer = SharedWriter::new(&mut out);
             let writer_ref = &writer;
+            let reg_ref = &flush_reg;
             let scatter = |chunk: &[T], bases: Vec<usize>| match self.strategy {
                 Strategy::Scalar => {
                     // SAFETY: per-thread extents are disjoint by
@@ -174,6 +198,9 @@ impl CpuPartitioner {
                     }
                     // SAFETY: as above.
                     unsafe { wc.drain(writer_ref) };
+                    let mut c = fpart_obs::CounterSet::default();
+                    wc.stats().record_into(&mut c);
+                    reg_ref.merge_from(&c);
                 }
                 Strategy::TwoPass { .. } => unreachable!("dispatched separately"),
             };
@@ -193,12 +220,16 @@ impl CpuPartitioner {
         for (p, &count) in global.iter().enumerate() {
             out.set_partition_fill(p, count, count);
         }
+        let flushes = flush_reg.snapshot();
         let report = CpuRunReport {
             tuples: tuples.len() as u64,
             threads,
             hist_time,
             scatter_time,
             passes: 2,
+            swwcb_full_flushes: flushes.get(fpart_obs::Ctr::SwwcbFullFlushes),
+            swwcb_partial_flushes: flushes.get(fpart_obs::Ctr::SwwcbPartialFlushes),
+            nt_store_lines: flushes.get(fpart_obs::Ctr::SwwcbNtLines),
         };
         (out, report)
     }
@@ -275,6 +306,9 @@ impl CpuPartitioner {
             hist_time,
             scatter_time,
             passes: 1 + 2 * self.strategy.scatter_passes(),
+            swwcb_full_flushes: 0,
+            swwcb_partial_flushes: 0,
+            nt_store_lines: 0,
         };
         (out, report)
     }
@@ -330,6 +364,39 @@ mod tests {
         assert_eq!(report.threads, 1);
         assert_eq!(report.passes, 2);
         assert!(report.mtuples_per_sec() > 0.0);
+        // Flush accounting: every tuple leaves through exactly one flush,
+        // and the paper baseline streams through non-temporal stores.
+        let flushed_lines = report.swwcb_full_flushes + report.swwcb_partial_flushes;
+        assert!(flushed_lines > 0, "SWWCB flushes must be counted");
+        assert_eq!(
+            report.nt_store_lines, flushed_lines,
+            "one-line buffers: every flush is one nt line"
+        );
+        assert!(report.swwcb_full_flushes * 8 <= report.tuples);
+        let c = report.obs_counters();
+        assert_eq!(c.get(fpart_obs::Ctr::SwwcbNtLines), report.nt_store_lines);
+    }
+
+    #[test]
+    fn multi_threaded_flush_counts_aggregate() {
+        // Thread splitting changes *which* flushes are partial, but every
+        // tuple still leaves through exactly one flush: full·slots + the
+        // partial remainders must sum to the tuple count.
+        let r = rel(20_000, KeyDistribution::Random);
+        let f = PartitionFn::Murmur { bits: 6 };
+        for threads in [1, 4] {
+            let (_, report) = CpuPartitioner::new(f, threads).partition(&r);
+            assert!(report.swwcb_full_flushes > 0, "{threads} threads");
+            assert!(
+                report.swwcb_full_flushes * 8 <= report.tuples,
+                "{threads} threads: at most one full flush per 8 tuples"
+            );
+            assert_eq!(
+                report.nt_store_lines,
+                report.swwcb_full_flushes + report.swwcb_partial_flushes,
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -146,6 +146,7 @@ pub fn range_partition<T: Tuple>(
     let t1 = Instant::now();
     let bases = prefix_sum(&hist);
     let mut out = PartitionedRelation::<T>::with_histogram(&hist, false);
+    let flush_stats;
     {
         let writer = SharedWriter::new(&mut out);
         let mut wc = Swwcb::new(bases[..parts].to_vec(), true);
@@ -155,6 +156,7 @@ pub fn range_partition<T: Tuple>(
         }
         // SAFETY: as above.
         unsafe { wc.drain(&writer) };
+        flush_stats = wc.stats();
     }
     let scatter_time = t1.elapsed();
 
@@ -169,6 +171,9 @@ pub fn range_partition<T: Tuple>(
             hist_time,
             scatter_time,
             passes: 2,
+            swwcb_full_flushes: flush_stats.full_flushes,
+            swwcb_partial_flushes: flush_stats.partial_flushes,
+            nt_store_lines: flush_stats.nt_lines,
         },
     )
 }
@@ -214,23 +219,36 @@ pub fn range_partition_parallel<T: Tuple>(
     let (global, bases) = crate::histogram::thread_bases(&thread_hists);
     let mut out = PartitionedRelation::<T>::with_histogram(&global, false);
     let t1 = Instant::now();
+    let mut flush_stats = crate::swwcb::SwwcbStats::default();
     {
         let writer = SharedWriter::new(&mut out);
         let writer_ref = &writer;
-        std::thread::scope(|s| {
-            for (c, b) in chunks.iter().zip(bases) {
-                s.spawn(move || {
-                    let mut wc = Swwcb::new(b, true);
-                    for &t in *c {
-                        // SAFETY: per-thread extents are disjoint by
-                        // construction of `thread_bases`.
-                        unsafe { wc.push(splitters.partition_of(t.key()), t, writer_ref) };
-                    }
-                    // SAFETY: as above.
-                    unsafe { wc.drain(writer_ref) };
-                });
-            }
+        let thread_stats: Vec<crate::swwcb::SwwcbStats> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .zip(bases)
+                .map(|(c, b)| {
+                    s.spawn(move || {
+                        let mut wc = Swwcb::new(b, true);
+                        for &t in *c {
+                            // SAFETY: per-thread extents are disjoint by
+                            // construction of `thread_bases`.
+                            unsafe { wc.push(splitters.partition_of(t.key()), t, writer_ref) };
+                        }
+                        // SAFETY: as above.
+                        unsafe { wc.drain(writer_ref) };
+                        wc.stats()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker"))
+                .collect()
         });
+        for s in &thread_stats {
+            flush_stats.merge(s);
+        }
     }
     let scatter_time = t1.elapsed();
 
@@ -245,6 +263,9 @@ pub fn range_partition_parallel<T: Tuple>(
             hist_time,
             scatter_time,
             passes: 2,
+            swwcb_full_flushes: flush_stats.full_flushes,
+            swwcb_partial_flushes: flush_stats.partial_flushes,
+            nt_store_lines: flush_stats.nt_lines,
         },
     )
 }

@@ -12,6 +12,36 @@ use fpart_types::{AlignedBuf, SharedWriter, Tuple};
 
 use crate::nt_store;
 
+/// Flush accounting of one [`Swwcb`] (observability): how often buffers
+/// spilled full vs. partially, and how many cache lines went through the
+/// non-temporal store path. Feeds the `fpart_obs::Ctr::Swwcb*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwwcbStats {
+    /// Buffer-full flushes (the steady-state streaming case).
+    pub full_flushes: u64,
+    /// Drain-time flushes of partially filled buffers.
+    pub partial_flushes: u64,
+    /// Cache lines written via non-temporal stores.
+    pub nt_lines: u64,
+}
+
+impl SwwcbStats {
+    /// Accumulate another engine's stats (per-thread merge).
+    pub fn merge(&mut self, other: &SwwcbStats) {
+        self.full_flushes += other.full_flushes;
+        self.partial_flushes += other.partial_flushes;
+        self.nt_lines += other.nt_lines;
+    }
+
+    /// Add these stats into an observability counter set.
+    pub fn record_into(&self, c: &mut fpart_obs::CounterSet) {
+        use fpart_obs::Ctr;
+        c.add(Ctr::SwwcbFullFlushes, self.full_flushes);
+        c.add(Ctr::SwwcbPartialFlushes, self.partial_flushes);
+        c.add(Ctr::SwwcbNtLines, self.nt_lines);
+    }
+}
+
 /// A per-thread scatter engine with a cache-line-aligned buffer per
 /// partition.
 ///
@@ -30,6 +60,7 @@ pub struct Swwcb<T: Tuple> {
     /// Tuples per partition buffer (`lines × LANES`).
     buffer_slots: usize,
     non_temporal: bool,
+    stats: SwwcbStats,
 }
 
 impl<T: Tuple> Swwcb<T> {
@@ -55,6 +86,7 @@ impl<T: Tuple> Swwcb<T> {
             bases,
             buffer_slots,
             non_temporal,
+            stats: SwwcbStats::default(),
         }
     }
 
@@ -71,6 +103,7 @@ impl<T: Tuple> Swwcb<T> {
         self.buffers[p * self.buffer_slots + idx] = t;
         if idx == self.buffer_slots - 1 {
             let run_start = c + 1 - self.buffer_slots;
+            self.note_flush(self.buffer_slots, true);
             // SAFETY: forwarded from the caller's contract.
             unsafe { self.flush_line(p, run_start, self.buffer_slots, out) };
         }
@@ -87,6 +120,7 @@ impl<T: Tuple> Swwcb<T> {
             let rem = self.counts[p] % self.buffer_slots;
             if rem > 0 {
                 let run_start = self.counts[p] - rem;
+                self.note_flush(rem, false);
                 // SAFETY: forwarded from the caller's contract.
                 unsafe { self.flush_line(p, run_start, rem, out) };
             }
@@ -97,6 +131,23 @@ impl<T: Tuple> Swwcb<T> {
     /// Tuples pushed per partition so far.
     pub fn counts(&self) -> &[usize] {
         &self.counts
+    }
+
+    /// Flush accounting accumulated so far.
+    pub fn stats(&self) -> SwwcbStats {
+        self.stats
+    }
+
+    #[inline]
+    fn note_flush(&mut self, tuples: usize, full: bool) {
+        if full {
+            self.stats.full_flushes += 1;
+        } else {
+            self.stats.partial_flushes += 1;
+        }
+        if self.non_temporal {
+            self.stats.nt_lines += (tuples as u64).div_ceil(T::LANES as u64);
+        }
     }
 
     #[inline]

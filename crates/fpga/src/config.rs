@@ -4,6 +4,8 @@
 use fpart_hash::PartitionFn;
 use fpart_types::{FpartError, Result};
 
+pub use fpart_obs::ObsLevel;
+
 /// How the output is formatted (first binary parameter of Section 4.5).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OutputMode {
@@ -168,6 +170,10 @@ pub struct PartitionerConfig {
     /// property of the modelled hardware — both fidelities describe the
     /// same circuit).
     pub fidelity: SimFidelity,
+    /// Observability level. At [`ObsLevel::Off`] (the default) the run
+    /// still publishes exact end-of-run totals into its snapshot, but no
+    /// per-cycle counting happens.
+    pub obs: ObsLevel,
 }
 
 impl PartitionerConfig {
@@ -183,6 +189,7 @@ impl PartitionerConfig {
             fifo_capacity: 64,
             out_fifo_capacity: 8,
             fidelity: SimFidelity::default(),
+            obs: ObsLevel::default(),
         }
     }
 
@@ -190,6 +197,13 @@ impl PartitionerConfig {
     /// style — the figure harness switches whole sweeps to batched).
     pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
         self.fidelity = fidelity;
+        self
+    }
+
+    /// This configuration with the given observability level (builder
+    /// style — `fpart trace` and the observability suite turn it up).
+    pub fn with_obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = obs;
         self
     }
 

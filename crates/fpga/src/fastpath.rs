@@ -40,6 +40,7 @@
 //! [`FpgaPartitioner::set_fault_plan`]: crate::FpgaPartitioner::set_fault_plan
 
 use fpart_hwsim::{QpiConfig, QpiEndpoint, QpiStats};
+use fpart_obs::{Ctr, Recorder};
 use fpart_types::{FpartError, Line, PartitionedRelation, Result, Tuple, CACHE_LINE_BYTES};
 
 use crate::config::{OutputMode, PartitionerConfig};
@@ -253,6 +254,7 @@ pub(crate) fn run_batched<T: Tuple>(
     // order; the ticked engine's round-robin drain may interleave lanes
     // differently, but per-partition contents are identical).
     let mut padding_slots = 0u64;
+    let mut flush_lines = 0u64;
     for p in 0..parts {
         for lane in 0..lanes {
             let cell = lane * parts + p;
@@ -274,6 +276,7 @@ pub(crate) fn run_batched<T: Tuple>(
             }
             valid_written[p] += fill as u64;
             padding_slots += (lanes - fill) as u64;
+            flush_lines += 1;
         }
     }
 
@@ -329,6 +332,62 @@ pub(crate) fn run_batched<T: Tuple>(
     let mut qpi = scatter_stats;
     qpi.accumulate(&hist_stats);
 
+    // Synthesize the observability snapshot from the same analytic model,
+    // mirroring the cycle-accurate engine's end-of-run totals so the
+    // conservation laws (and the fastpath-equivalence counter pins) hold
+    // on both paths.
+    let mut rec = Recorder::new(cfg.obs);
+    rec.set(Ctr::Lanes, lanes as u64);
+    rec.set(Ctr::Partitions, parts as u64);
+    rec.set(Ctr::TuplesIn, n as u64);
+    rec.set(Ctr::TuplesOut, valid_written.iter().sum());
+    rec.set(Ctr::PaddingSlots, padding_slots);
+    rec.set(Ctr::InputLines, total_lines as u64);
+    rec.set(Ctr::TupleLines, tuple_lines);
+    rec.set(Ctr::LinesWritten, lines_written);
+    rec.set(Ctr::HistLinesRead, hist_stats.lines_read);
+    rec.set(Ctr::HistCycles, hist_cycles);
+    rec.set(Ctr::ScatterCycles, scatter_cycles);
+    // Port classification: grants and synthesized stalls, remainder idle
+    // (the batched model has no FIFO-credit throttling).
+    rec.set(Ctr::RdBusy, total_lines as u64);
+    rec.set(Ctr::RdStall, scatter_stats.read_stall_cycles);
+    rec.set(
+        Ctr::RdIdle,
+        scatter_cycles - total_lines as u64 - scatter_stats.read_stall_cycles,
+    );
+    rec.set(Ctr::WrBusy, lines_written);
+    rec.set(Ctr::WrStall, scatter_stats.write_stall_cycles);
+    rec.set(
+        Ctr::WrIdle,
+        scatter_cycles - lines_written - scatter_stats.write_stall_cycles,
+    );
+    rec.set(Ctr::HistRdBusy, hist_stats.lines_read);
+    rec.set(Ctr::HistRdStall, hist_stats.read_stall_cycles);
+    rec.set(
+        Ctr::HistRdIdle,
+        hist_cycles - hist_stats.lines_read - hist_stats.read_stall_cycles,
+    );
+    rec.set(Ctr::RrIdleCycles, scatter_cycles - lines_written);
+    rec.set(Ctr::CombTuplesIn, tuples_consumed);
+    rec.set(Ctr::CombLinesOut, lines_written - flush_lines);
+    rec.set(Ctr::CombFlushLines, flush_lines);
+    rec.set(Ctr::CombFlushDummies, padding_slots);
+    rec.set(Ctr::Fwd1dHits, forward_hits.0);
+    rec.set(Ctr::Fwd2dHits, forward_hits.1);
+    rec.set(Ctr::WbLinesEmitted, lines_written);
+    // One fill-rate read+write per combined tuple, one extra write per
+    // flushed partial line; one count read+write per emitted line —
+    // exactly what the ticked BRAMs tally.
+    rec.set(Ctr::FillBramReads, tuples_consumed);
+    rec.set(Ctr::FillBramWrites, tuples_consumed + flush_lines);
+    rec.set(Ctr::CountBramReads, lines_written);
+    rec.set(Ctr::CountBramWrites, lines_written);
+    rec.set(Ctr::EpCacheHits, 0);
+    rec.set(Ctr::EpCacheMisses, total_lines as u64);
+    qpi.record_into(&mut rec.counters);
+    pagetable.record_into(&mut rec.counters);
+
     let report = RunReport {
         mode: cfg.mode_label(),
         tuples: n as u64,
@@ -345,6 +404,7 @@ pub(crate) fn run_batched<T: Tuple>(
         // Streaming reads of distinct addresses: every access is a
         // compulsory miss in the 128 KB endpoint cache (Section 2.2).
         endpoint_cache: (0, total_lines as u64),
+        obs: rec.finish(),
     };
     Ok((out, report))
 }

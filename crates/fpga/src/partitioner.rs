@@ -23,6 +23,7 @@ use fpart_hwsim::{
     BramKind, FaultInjector, FaultPlan, Fifo, PageAllocator, PageTable, PassId, QpiConfig,
     QpiEndpoint, QpiStats,
 };
+use fpart_obs::{Ctr, ObsSnapshot, Recorder};
 use fpart_types::{
     ColumnRelation, FpartError, Line, PartitionedRelation, Relation, Result, Tuple,
     CACHE_LINE_BYTES,
@@ -100,6 +101,12 @@ pub struct RunReport {
     /// hits — the same fact that makes FPGA-socket snoops expensive
     /// (Section 2.2).
     pub endpoint_cache: (u64, u64),
+    /// Observability snapshot: always present — end-of-run totals are
+    /// published even at [`fpart_obs::ObsLevel::Off`], so the
+    /// `fpart_obs::asserts` conservation laws can run on every report.
+    /// Per-cycle port classification and traces require the config's
+    /// `obs` level to be raised.
+    pub obs: ObsSnapshot,
 }
 
 /// Cycles between timeline samples in [`RunReport::timeline`].
@@ -276,12 +283,14 @@ impl FpgaPartitioner {
             return Ok((hist, pass.cycles));
         }
         let mut scratch = SimScratch::new(input.expansion());
+        let mut rec = Recorder::new(self.config.obs);
         let pass = HistogramPass::run::<T>(
             &self.config,
             self.qpi.clone(),
             &input,
             self.faults.as_ref(),
             &mut scratch,
+            &mut rec,
         )?;
         let hist = (0..parts)
             .map(|p| pass.lane_hists.iter().map(|h| h[p]).sum())
@@ -306,6 +315,7 @@ impl FpgaPartitioner {
         let parts = self.config.partitions();
         let n = input.tuple_count();
         let mut scratch = SimScratch::new(input.expansion());
+        let mut rec = Recorder::new(self.config.obs);
 
         // Page table covering input + output virtual regions.
         let mut pagetable = build_pagetable::<T>(&input, parts, n, &self.config.output)?;
@@ -322,6 +332,7 @@ impl FpgaPartitioner {
                     &input,
                     self.faults.as_ref(),
                     &mut scratch,
+                    &mut rec,
                 )?;
                 let valid: Vec<usize> = (0..parts)
                     .map(|p| pass.lane_hists.iter().map(|h| h[p] as usize).sum())
@@ -368,10 +379,18 @@ impl FpgaPartitioner {
             &input,
             self.faults.as_ref(),
         );
-        let scatter = engine.run(&mut out, &mut pagetable, &mut scratch)?;
+        let scatter = engine.run(&mut out, &mut pagetable, &mut scratch, &mut rec)?;
 
         let mut qpi = scatter.qpi_stats;
         qpi.accumulate(&hist_stats);
+
+        // Publish run-level totals into the recorder (exact at every
+        // observability level) and freeze the snapshot.
+        rec.set(Ctr::Lanes, T::LANES as u64);
+        rec.set(Ctr::Partitions, parts as u64);
+        rec.set(Ctr::TuplesIn, n as u64);
+        qpi.record_into(&mut rec.counters);
+        pagetable.record_into(&mut rec.counters);
 
         let report = RunReport {
             mode: self.config.mode_label(),
@@ -387,6 +406,7 @@ impl FpgaPartitioner {
             pt_retries: pagetable.retries_total(),
             timeline: scatter.timeline,
             endpoint_cache: scatter.endpoint_cache,
+            obs: rec.finish(),
         };
         Ok((out, report))
     }
@@ -580,6 +600,7 @@ impl HistogramPass {
         input: &InputData<'_, T>,
         injector: Option<&FaultInjector>,
         scratch: &mut SimScratch<T>,
+        rec: &mut Recorder,
     ) -> Result<Self> {
         let parts = cfg.partitions();
         let mut qpi = QpiEndpoint::new(qpi_cfg);
@@ -633,13 +654,23 @@ impl HistogramPass {
                 pending.extend(fetch_buf.drain(..));
             }
 
-            // Issue a new request while the in-flight window has room.
+            // Issue a new request while the in-flight window has room,
+            // classifying the read port for the stall-accounting laws:
+            // every cycle is exactly one of busy/stall/throttled/idle.
             let committed = pending.len() + qpi.reads_in_flight() * expansion;
-            if read_cursor < total_lines
-                && committed + expansion <= cfg.fifo_capacity
-                && qpi.try_read(read_cursor as u64)
-            {
-                read_cursor += 1;
+            if read_cursor < total_lines {
+                if committed + expansion <= cfg.fifo_capacity {
+                    if qpi.try_read(read_cursor as u64) {
+                        read_cursor += 1;
+                        rec.inc(Ctr::HistRdBusy);
+                    } else {
+                        rec.inc(Ctr::HistRdStall);
+                    }
+                } else {
+                    rec.inc(Ctr::HistRdThrottled);
+                }
+            } else {
+                rec.inc(Ctr::HistRdIdle);
             }
         }
 
@@ -655,10 +686,26 @@ impl HistogramPass {
             }
         }
 
+        let qpi_stats = qpi.stats();
+        rec.set(Ctr::HistCycles, cycles);
+        rec.set(Ctr::HistLinesRead, qpi_stats.lines_read);
+        if !rec.on() {
+            // Synthesize the port classification from end-of-run totals:
+            // one grant per fetched line, one stall per endpoint denial
+            // (credit or replay window), the rest idle. The attempts
+            // argument guarantees busy + stall <= cycles.
+            let busy = qpi_stats.lines_read;
+            let stall = qpi_stats.read_stall_cycles + qpi_stats.replay_stall_cycles;
+            rec.set(Ctr::HistRdBusy, busy);
+            rec.set(Ctr::HistRdStall, stall);
+            rec.set(Ctr::HistRdIdle, cycles - busy - stall);
+        }
+        rec.event(cycles, "hist", "pass_end", qpi_stats.lines_read);
+
         Ok(Self {
             lane_hists,
             cycles,
-            qpi_stats: qpi.stats(),
+            qpi_stats,
             _marker: std::marker::PhantomData,
         })
     }
@@ -744,6 +791,7 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
         out: &mut PartitionedRelation<T>,
         pagetable: &mut PageTable,
         scratch: &mut SimScratch<T>,
+        rec: &mut Recorder,
     ) -> Result<ScatterResult> {
         let total_lines = self.input.input_lines();
         let expansion = self.input.expansion();
@@ -759,6 +807,7 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
         let mut lines_written: Vec<u64> = vec![0; out.num_partitions()];
         let mut valid_written: Vec<u64> = vec![0; out.num_partitions()];
         let mut timeline: Vec<(u64, u64, u64)> = Vec::new();
+        let mut tuple_lines = 0u64;
 
         loop {
             cycles += 1;
@@ -769,19 +818,34 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             if cycles.is_multiple_of(TIMELINE_INTERVAL) {
                 let s = self.qpi.stats();
                 timeline.push((cycles, s.lines_read, s.lines_written));
+                rec.event(
+                    cycles,
+                    "scatter",
+                    "interval",
+                    s.lines_read + s.lines_written,
+                );
             }
 
-            // (1) QPI write issue: commit the oldest addressed line.
-            if self.wb_fifo.peek().is_some() && self.qpi.try_write() {
-                let (part, dest_line, line) = self.wb_fifo.pop().expect("peeked");
-                // Address translation for the write (virtual → physical).
-                let vaddr = (self.out_base_line + dest_line) * CACHE_LINE_BYTES as u64;
-                let _paddr = pagetable.translate(vaddr)?;
-                let base_slot = dest_line as usize * T::LANES;
-                let dst = &mut out.raw_data_mut()[base_slot..base_slot + T::LANES];
-                dst.copy_from_slice(line.tuples());
-                lines_written[part] += 1;
-                valid_written[part] += line.valid_count() as u64;
+            // (1) QPI write issue: commit the oldest addressed line. The
+            // port classifies every cycle as exactly one of busy (grant),
+            // stall (endpoint denial) or idle (nothing to write).
+            if self.wb_fifo.peek().is_some() {
+                if self.qpi.try_write() {
+                    rec.inc(Ctr::WrBusy);
+                    let (part, dest_line, line) = self.wb_fifo.pop().expect("peeked");
+                    // Address translation for the write (virtual → physical).
+                    let vaddr = (self.out_base_line + dest_line) * CACHE_LINE_BYTES as u64;
+                    let _paddr = pagetable.translate(vaddr)?;
+                    let base_slot = dest_line as usize * T::LANES;
+                    let dst = &mut out.raw_data_mut()[base_slot..base_slot + T::LANES];
+                    dst.copy_from_slice(line.tuples());
+                    lines_written[part] += 1;
+                    valid_written[part] += line.valid_count() as u64;
+                } else {
+                    rec.inc(Ctr::WrStall);
+                }
+            } else {
+                rec.inc(Ctr::WrIdle);
             }
 
             // (2) Write back: pop one combined line (round robin over
@@ -800,6 +864,9 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             } else {
                 None
             };
+            if wb_input.is_none() {
+                rec.inc(Ctr::RrIdleCycles);
+            }
             if let Some(addressed) = self.writeback.clock(wb_input)? {
                 self.wb_fifo
                     .push(addressed)
@@ -827,6 +894,7 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
 
             // (4) Hash pipelines consume one tuple line.
             let line = pending.pop_front();
+            tuple_lines += u64::from(line.is_some());
             for (lane, pipe) in self.pipes.iter_mut().enumerate() {
                 let tuple = line.as_ref().map(|l| l.lane(lane));
                 if let Some(out_t) = pipe.clock(tuple.filter(|t| !t.is_dummy())) {
@@ -856,15 +924,28 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
                 + self.qpi.reads_in_flight() * expansion
                 + pipe_occupancy
                 + fifo_occupancy;
-            if read_cursor < total_lines && committed + expansion <= self.cfg.fifo_capacity {
-                // Translate the input address (the page table is pipelined;
-                // throughput-neutral).
-                let vaddr = read_cursor as u64 * CACHE_LINE_BYTES as u64;
-                let _paddr = pagetable.translate(vaddr)?;
-                if self.qpi.try_read(read_cursor as u64) {
-                    self.endpoint_cache.access(vaddr);
-                    read_cursor += 1;
+            rec.sample_occupancy(fifo_occupancy as u64);
+            if read_cursor < total_lines {
+                if committed + expansion <= self.cfg.fifo_capacity {
+                    // Translate the input address (the page table is
+                    // pipelined; throughput-neutral).
+                    let vaddr = read_cursor as u64 * CACHE_LINE_BYTES as u64;
+                    let _paddr = pagetable.translate(vaddr)?;
+                    if self.qpi.try_read(read_cursor as u64) {
+                        self.endpoint_cache.access(vaddr);
+                        read_cursor += 1;
+                        rec.inc(Ctr::RdBusy);
+                        if read_cursor == total_lines {
+                            rec.event(cycles, "scatter", "reads_done", total_lines as u64);
+                        }
+                    } else {
+                        rec.inc(Ctr::RdStall);
+                    }
+                } else {
+                    rec.inc(Ctr::RdThrottled);
                 }
+            } else {
+                rec.inc(Ctr::RdIdle);
             }
 
             // Flush once the scatter datapath has drained (including read
@@ -881,6 +962,7 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
                     c.start_flush();
                 }
                 flushing = true;
+                rec.event(cycles, "scatter", "flush_start", read_cursor as u64);
             }
 
             if flushing
@@ -917,6 +999,9 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             (acc.0 + s.forward_1d_hits, acc.1 + s.forward_2d_hits)
         });
 
+        self.publish_totals(rec, cycles, tuple_lines, &lines_written, &valid_written);
+        rec.event(cycles, "scatter", "pass_end", lines_written.iter().sum());
+
         Ok(ScatterResult {
             cycles,
             qpi_stats: self.qpi.stats(),
@@ -931,6 +1016,76 @@ impl<'a, T: Tuple> ScatterEngine<'a, T> {
             timeline,
             endpoint_cache: (self.endpoint_cache.hits(), self.endpoint_cache.misses()),
         })
+    }
+
+    /// Publish scatter-side end-of-run totals into the recorder; when
+    /// per-cycle counting was off, synthesize the port classification
+    /// from the endpoint's own totals so the conservation laws still
+    /// have exact values to check.
+    fn publish_totals(
+        &self,
+        rec: &mut Recorder,
+        cycles: u64,
+        tuple_lines: u64,
+        lines_written: &[u64],
+        valid_written: &[u64],
+    ) {
+        let total_lines = self.input.input_lines() as u64;
+        let written: u64 = lines_written.iter().sum();
+        let valid: u64 = valid_written.iter().sum();
+        rec.set(Ctr::ScatterCycles, cycles);
+        rec.set(Ctr::InputLines, total_lines);
+        rec.set(Ctr::TupleLines, tuple_lines);
+        rec.set(Ctr::LinesWritten, written);
+        rec.set(Ctr::TuplesOut, valid);
+        rec.set(Ctr::WbLinesEmitted, self.writeback.lines_emitted());
+        rec.set(Ctr::EpCacheHits, self.endpoint_cache.hits());
+        rec.set(Ctr::EpCacheMisses, self.endpoint_cache.misses());
+        self.writeback.record_bram_into(&mut rec.counters);
+
+        let mut comb_tuples = 0u64;
+        let mut comb_lines = 0u64;
+        let mut flush_lines = 0u64;
+        let mut flush_dummies = 0u64;
+        let mut fwd = (0u64, 0u64);
+        for c in &self.combiners {
+            let s = c.stats();
+            comb_tuples += s.tuples_in;
+            comb_lines += s.lines_out;
+            flush_lines += s.flush_lines;
+            flush_dummies += s.flush_dummies;
+            fwd.0 += s.forward_1d_hits;
+            fwd.1 += s.forward_2d_hits;
+            c.record_bram_into(&mut rec.counters);
+        }
+        rec.set(Ctr::CombTuplesIn, comb_tuples);
+        rec.set(Ctr::CombLinesOut, comb_lines);
+        rec.set(Ctr::CombFlushLines, flush_lines);
+        rec.set(Ctr::CombFlushDummies, flush_dummies);
+        rec.set(Ctr::PaddingSlots, flush_dummies);
+        rec.set(Ctr::Fwd1dHits, fwd.0);
+        rec.set(Ctr::Fwd2dHits, fwd.1);
+
+        if !rec.on() {
+            // Port synthesis. Replay-window stalls are attributed to the
+            // read port first (up to its idle headroom), remainder to the
+            // write port — the per-cycle attempts argument guarantees
+            // both ports stay within `cycles`.
+            let s = self.qpi.stats();
+            let rd_headroom = cycles - s.lines_read - s.read_stall_cycles;
+            let rd_replay = s.replay_stall_cycles.min(rd_headroom);
+            let wr_replay = s.replay_stall_cycles - rd_replay;
+            rec.set(Ctr::RdBusy, s.lines_read);
+            rec.set(Ctr::RdStall, s.read_stall_cycles + rd_replay);
+            rec.set(Ctr::RdIdle, rd_headroom - rd_replay);
+            rec.set(Ctr::WrBusy, s.lines_written);
+            rec.set(Ctr::WrStall, s.write_stall_cycles + wr_replay);
+            rec.set(
+                Ctr::WrIdle,
+                cycles - s.lines_written - s.write_stall_cycles - wr_replay,
+            );
+            rec.set(Ctr::RrIdleCycles, cycles - comb_lines - flush_lines);
+        }
     }
 }
 
@@ -950,6 +1105,7 @@ mod tests {
             fifo_capacity: 64,
             out_fifo_capacity: 8,
             fidelity: SimFidelity::CycleAccurate,
+            obs: fpart_obs::ObsLevel::Off,
         }
     }
 
@@ -1055,6 +1211,7 @@ mod tests {
             fifo_capacity: 64,
             out_fifo_capacity: 8,
             fidelity: SimFidelity::CycleAccurate,
+            obs: fpart_obs::ObsLevel::Off,
         };
         let p = FpgaPartitioner::new(cfg);
         let err = p.partition(&r).unwrap_err();
@@ -1177,6 +1334,7 @@ mod tests {
             fifo_capacity: 64,
             out_fifo_capacity: 8,
             fidelity: SimFidelity::CycleAccurate,
+            obs: fpart_obs::ObsLevel::Off,
         };
         let f = cfg.partition_fn;
         let p = FpgaPartitioner::new(cfg);

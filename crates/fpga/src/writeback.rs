@@ -162,6 +162,16 @@ impl<T: Tuple> WriteBack<T> {
         self.lines_emitted
     }
 
+    /// Accumulate the partition-count BRAM's access totals into an
+    /// observability counter set.
+    pub fn record_bram_into(&self, c: &mut fpart_obs::CounterSet) {
+        self.counts.record_into(
+            c,
+            fpart_obs::Ctr::CountBramReads,
+            fpart_obs::Ctr::CountBramWrites,
+        );
+    }
+
     /// Note that `n` input tuples have been consumed by the circuit (used
     /// for the overflow report's `consumed` field).
     pub fn note_consumed(&mut self, n: u64) {

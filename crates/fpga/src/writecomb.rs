@@ -160,6 +160,16 @@ impl<T: Tuple> WriteCombiner<T> {
         self.stats
     }
 
+    /// Accumulate the fill-rate BRAM's access totals into an
+    /// observability counter set.
+    pub fn record_bram_into(&self, c: &mut fpart_obs::CounterSet) {
+        self.fill_rate.record_into(
+            c,
+            fpart_obs::Ctr::FillBramReads,
+            fpart_obs::Ctr::FillBramWrites,
+        );
+    }
+
     /// Advance one clock. `input` is the tuple popped from the lane FIFO
     /// this cycle (the caller must have checked [`WriteCombiner::can_accept`]).
     /// `out_ready` signals that the output FIFO can take a line this cycle:

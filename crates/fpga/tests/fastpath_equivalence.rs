@@ -94,8 +94,37 @@ fn assert_equivalent<T: Tuple>(
         b_rep.qpi.lines_written, c_rep.qpi.lines_written,
         "{label}: lines written"
     );
+    // Structural observability counters — data volumes, not timing — must
+    // be bit-identical between the analytic and ticked engines. Timing
+    // counters (cycles, stall/idle splits) are only close, and are covered
+    // by assert_cycles_close below.
+    for ctr in STRUCTURAL_COUNTERS {
+        assert_eq!(
+            b_rep.obs.get(ctr),
+            c_rep.obs.get(ctr),
+            "{label}: obs counter {}",
+            ctr.name()
+        );
+    }
     assert_cycles_close(label, b_rep.total_cycles(), c_rep.total_cycles());
 }
+
+/// Counters that count data movement rather than time: both fidelities
+/// must agree on them exactly.
+const STRUCTURAL_COUNTERS: [fpart_obs::Ctr; 12] = [
+    fpart_obs::Ctr::TuplesIn,
+    fpart_obs::Ctr::TuplesOut,
+    fpart_obs::Ctr::PaddingSlots,
+    fpart_obs::Ctr::InputLines,
+    fpart_obs::Ctr::LinesWritten,
+    fpart_obs::Ctr::HistLinesRead,
+    fpart_obs::Ctr::CombTuplesIn,
+    fpart_obs::Ctr::CombLinesOut,
+    fpart_obs::Ctr::CombFlushLines,
+    fpart_obs::Ctr::WbLinesEmitted,
+    fpart_obs::Ctr::QpiLinesRead,
+    fpart_obs::Ctr::QpiLinesWritten,
+];
 
 /// Sweep modes × bits × distributions × sizes with a seeded generator.
 /// This is the satellite "proptest over modes {HIST,PAD}×{RID,VRID},
@@ -312,6 +341,43 @@ fn armed_fault_plan_forces_cycle_accuracy() {
         .unwrap();
     assert_eq!(report.qpi.link_errors, 1, "the fault plan executed");
     assert_eq!(report.qpi.link_replays, 2);
+}
+
+#[test]
+fn counter_totals_conserve_at_both_fidelities() {
+    // With metrics enabled, both engines must publish snapshots that
+    // satisfy every conservation law, and the fault-event counters of a
+    // clean run must be zero — the fast path must not invent events the
+    // ticked engine never saw.
+    let keys: Vec<u32> = KeyDistribution::Random.generate_keys(8192, 21);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    for output in [OutputMode::Hist, OutputMode::pad_default()] {
+        let cfg = config(5, output, InputMode::Rid).with_obs(fpart_obs::ObsLevel::Counters);
+        let (_, c) = FpgaPartitioner::new(cfg.clone()).partition(&rel).unwrap();
+        let (_, b) = FpgaPartitioner::new(cfg.with_fidelity(SimFidelity::Batched))
+            .partition(&rel)
+            .unwrap();
+        for (label, rep) in [("cycle-accurate", &c), ("batched", &b)] {
+            fpart_obs::asserts::assert_conserved(&rep.obs);
+            for ctr in [
+                fpart_obs::Ctr::QpiLinkErrors,
+                fpart_obs::Ctr::QpiLinkReplays,
+                fpart_obs::Ctr::PtRetryEvents,
+                fpart_obs::Ctr::BramParityEvents,
+                fpart_obs::Ctr::PadOverflowEvents,
+            ] {
+                assert_eq!(rep.obs.get(ctr), 0, "{label}: clean run, {}", ctr.name());
+            }
+        }
+        for ctr in STRUCTURAL_COUNTERS {
+            assert_eq!(
+                b.obs.get(ctr),
+                c.obs.get(ctr),
+                "counters level: obs counter {}",
+                ctr.name()
+            );
+        }
+    }
 }
 
 #[test]

@@ -19,6 +19,7 @@ fn config(bits: u32, output: OutputMode) -> PartitionerConfig {
         fifo_capacity: 64,
         out_fifo_capacity: 8,
         fidelity: SimFidelity::CycleAccurate,
+        obs: fpart_fpga::ObsLevel::Off,
     }
 }
 

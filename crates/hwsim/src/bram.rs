@@ -158,6 +158,18 @@ impl<T: Copy> Bram<T> {
     pub fn writes_done(&self) -> u64 {
         self.writes_done
     }
+
+    /// Accumulate this BRAM's access totals into an observability counter
+    /// set, under the caller-chosen read/write counter ids.
+    pub fn record_into(
+        &self,
+        c: &mut fpart_obs::CounterSet,
+        reads: fpart_obs::Ctr,
+        writes: fpart_obs::Ctr,
+    ) {
+        c.add(reads, self.reads_issued);
+        c.add(writes, self.writes_done);
+    }
 }
 
 #[cfg(test)]

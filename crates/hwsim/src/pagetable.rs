@@ -184,6 +184,15 @@ impl PageTable {
     pub fn pages_for(bytes: u64) -> usize {
         bytes.div_ceil(PAGE_BYTES) as usize
     }
+
+    /// Accumulate translation and retry totals into an observability
+    /// counter set.
+    pub fn record_into(&self, c: &mut fpart_obs::CounterSet) {
+        use fpart_obs::Ctr;
+        c.add(Ctr::PtTranslations, self.translations);
+        c.add(Ctr::PtRetryEvents, self.retry_events);
+        c.add(Ctr::PtRetriesTotal, self.retries_total);
+    }
 }
 
 #[cfg(test)]

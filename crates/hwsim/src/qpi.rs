@@ -125,6 +125,18 @@ impl QpiStats {
         (self.lines_read + self.lines_written) * CACHE_LINE_BYTES as u64
     }
 
+    /// Accumulate these endpoint totals into an observability counter set.
+    pub fn record_into(&self, c: &mut fpart_obs::CounterSet) {
+        use fpart_obs::Ctr;
+        c.add(Ctr::QpiLinesRead, self.lines_read);
+        c.add(Ctr::QpiLinesWritten, self.lines_written);
+        c.add(Ctr::QpiReadStallCycles, self.read_stall_cycles);
+        c.add(Ctr::QpiWriteStallCycles, self.write_stall_cycles);
+        c.add(Ctr::QpiLinkErrors, self.link_errors);
+        c.add(Ctr::QpiLinkReplays, self.link_replays);
+        c.add(Ctr::QpiReplayStallCycles, self.replay_stall_cycles);
+    }
+
     /// The achieved read-per-write ratio `r`.
     pub fn achieved_r(&self) -> f64 {
         if self.lines_written == 0 {

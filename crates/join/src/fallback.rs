@@ -130,6 +130,38 @@ impl DegradationReport {
             })
             .collect()
     }
+
+    /// Number of BRAM soft errors (parity aborts) observed across all
+    /// attempts of the chain.
+    pub fn parity_events(&self) -> u64 {
+        self.attempts
+            .iter()
+            .filter(|a| matches!(a.error, Some(FpartError::BramSoftError { .. })))
+            .count() as u64
+    }
+
+    /// Number of PAD overflow aborts observed across all attempts.
+    pub fn overflow_events(&self) -> u64 {
+        self.abort_points().len() as u64
+    }
+
+    /// Roll the chain's own accounting into an observability counter set:
+    /// attempt/waste totals plus per-fault-class event counts, merged with
+    /// the successful FPGA run's counters when the chain ended on the
+    /// FPGA. The fault-injection suite asserts injected faults are visible
+    /// here.
+    pub fn fault_counters(&self) -> fpart_obs::CounterSet {
+        use fpart_obs::Ctr;
+        let mut c = fpart_obs::CounterSet::default();
+        if let Some(report) = &self.fpga {
+            c.merge(&report.obs.counters);
+        }
+        c.set(Ctr::FallbackAttempts, self.attempts.len() as u64);
+        c.set(Ctr::FallbackWastedCycles, self.wasted_cycles());
+        c.set(Ctr::BramParityEvents, self.parity_events());
+        c.set(Ctr::PadOverflowEvents, self.overflow_events());
+        c
+    }
 }
 
 /// Estimated simulated cycles an aborted run threw away.
@@ -299,6 +331,7 @@ mod tests {
             fifo_capacity: 64,
             out_fifo_capacity: 8,
             fidelity: SimFidelity::CycleAccurate,
+            obs: fpart_obs::ObsLevel::Off,
         }
     }
 

@@ -240,6 +240,7 @@ mod tests {
             fifo_capacity: 64,
             out_fifo_capacity: 8,
             fidelity: SimFidelity::CycleAccurate,
+            obs: fpart_obs::ObsLevel::Off,
         }
     }
 

@@ -52,6 +52,20 @@ impl DistJoinReport {
     pub fn total_seconds(&self) -> f64 {
         self.partition_seconds + self.exchange_seconds + self.local_join_seconds
     }
+
+    /// Network-volume counters as an observability counter set. One
+    /// "message" is one node-to-node flow of the all-to-all exchange
+    /// (`nodes × (nodes − 1)` off-diagonal flows, R and S together).
+    pub fn obs_counters(&self) -> fpart_obs::CounterSet {
+        use fpart_obs::Ctr;
+        let mut c = fpart_obs::CounterSet::default();
+        c.set(Ctr::NetBytesShuffled, self.network_bytes);
+        c.set(
+            Ctr::NetMessages,
+            (self.nodes * self.nodes.saturating_sub(1)) as u64,
+        );
+        c
+    }
 }
 
 /// A configured distributed join.

@@ -1,0 +1,318 @@
+//! Counter-conservation laws as reusable test predicates.
+//!
+//! The paper's §4.6 cost model is an accounting argument — one cache line
+//! in and one out per cycle, throughput bound only by the link — and
+//! these laws make the accounting checkable: every line and every cycle
+//! a run reports must be attributable to exactly one counter. The
+//! integration suites call [`assert_conserved`] on every
+//! [`ObsSnapshot`] they see, including runs under fault plans.
+
+use crate::counters::Ctr;
+use crate::snapshot::ObsSnapshot;
+
+/// Check one equality law, pushing a diagnostic on violation.
+fn law(violations: &mut Vec<String>, name: &str, lhs: u64, rhs: u64) {
+    if lhs != rhs {
+        violations.push(format!("{name}: {lhs} != {rhs}"));
+    }
+}
+
+/// Check one `lhs >= rhs` law.
+fn law_ge(violations: &mut Vec<String>, name: &str, lhs: u64, rhs: u64) {
+    if lhs < rhs {
+        violations.push(format!("{name}: {lhs} < {rhs}"));
+    }
+}
+
+/// Evaluate every conservation law against a snapshot, returning one
+/// human-readable diagnostic per violated law (empty = all hold).
+///
+/// The laws, for a *successful* partitioning run:
+///
+/// 1. tuple conservation: `tuples_out == tuples_in == comb_tuples_in`
+/// 2. line conservation: `comb_lines_out + comb_flush_lines ==
+///    lines_written == wb_lines_emitted == qpi_lines_written`
+/// 3. slot conservation: `tuples_out + padding_slots == lines_written × lanes`
+/// 4. read-port cycles: `rd_busy + rd_stall + rd_throttled + rd_idle ==
+///    scatter_cycles`, with `rd_busy == input_lines`
+/// 5. write-port cycles: `wr_busy + wr_stall + wr_idle == scatter_cycles`,
+///    with `wr_busy == lines_written`
+/// 6. histogram-port cycles: the four `hist_rd_*` sum to `hist_cycles`,
+///    with `hist_rd_busy == hist_lines_read`
+/// 7. link reads: `qpi_lines_read == hist_lines_read + input_lines`
+/// 8. round-robin: `rr_idle_cycles + comb_lines_out + comb_flush_lines ==
+///    scatter_cycles`
+/// 9. stall attribution: `rd_stall + wr_stall + hist_rd_stall ==
+///    qpi_read_stall + qpi_write_stall + qpi_replay_stall`
+/// 10. BRAM accounting: `fill_bram_reads == comb_tuples_in`,
+///     `count_bram_reads == wb_lines_emitted`
+/// 11. endpoint cache: `ep_cache_hits + ep_cache_misses == input_lines`
+/// 12. translations: `pt_translations >= input_lines + lines_written`
+pub fn conservation_violations(s: &ObsSnapshot) -> Vec<String> {
+    let c = |ctr: Ctr| s.get(ctr);
+    let mut v = Vec::new();
+
+    // 1. Tuple conservation (nothing in flight after a successful run).
+    law(
+        &mut v,
+        "tuples_out == tuples_in",
+        c(Ctr::TuplesOut),
+        c(Ctr::TuplesIn),
+    );
+    law(
+        &mut v,
+        "comb_tuples_in == tuples_in",
+        c(Ctr::CombTuplesIn),
+        c(Ctr::TuplesIn),
+    );
+
+    // 2. Line conservation through combiner → writeback → link.
+    let comb_out = c(Ctr::CombLinesOut) + c(Ctr::CombFlushLines);
+    law(
+        &mut v,
+        "comb_lines_out + comb_flush_lines == lines_written",
+        comb_out,
+        c(Ctr::LinesWritten),
+    );
+    law(
+        &mut v,
+        "wb_lines_emitted == lines_written",
+        c(Ctr::WbLinesEmitted),
+        c(Ctr::LinesWritten),
+    );
+    law(
+        &mut v,
+        "qpi_lines_written == lines_written",
+        c(Ctr::QpiLinesWritten),
+        c(Ctr::LinesWritten),
+    );
+
+    // 3. Slot conservation: every written line is lanes slots, each a
+    // valid tuple or a padding dummy.
+    if c(Ctr::Lanes) > 0 {
+        law(
+            &mut v,
+            "tuples_out + padding_slots == lines_written * lanes",
+            c(Ctr::TuplesOut) + c(Ctr::PaddingSlots),
+            c(Ctr::LinesWritten) * c(Ctr::Lanes),
+        );
+        law(
+            &mut v,
+            "comb_flush_dummies == padding_slots",
+            c(Ctr::CombFlushDummies),
+            c(Ctr::PaddingSlots),
+        );
+    }
+
+    // 4–5. Port cycle accounting: every scatter cycle classifies each
+    // port exactly once (busy/stall/throttled/idle), so stall cycles sum
+    // to total_cycles − busy_cycles by construction.
+    law(
+        &mut v,
+        "rd port cycles sum to scatter_cycles",
+        c(Ctr::RdBusy) + c(Ctr::RdStall) + c(Ctr::RdThrottled) + c(Ctr::RdIdle),
+        c(Ctr::ScatterCycles),
+    );
+    law(
+        &mut v,
+        "rd_busy == input_lines",
+        c(Ctr::RdBusy),
+        c(Ctr::InputLines),
+    );
+    law(
+        &mut v,
+        "wr port cycles sum to scatter_cycles",
+        c(Ctr::WrBusy) + c(Ctr::WrStall) + c(Ctr::WrIdle),
+        c(Ctr::ScatterCycles),
+    );
+    law(
+        &mut v,
+        "wr_busy == lines_written",
+        c(Ctr::WrBusy),
+        c(Ctr::LinesWritten),
+    );
+
+    // 6. Histogram pass port accounting (all zero in PAD mode).
+    law(
+        &mut v,
+        "hist rd port cycles sum to hist_cycles",
+        c(Ctr::HistRdBusy) + c(Ctr::HistRdStall) + c(Ctr::HistRdThrottled) + c(Ctr::HistRdIdle),
+        c(Ctr::HistCycles),
+    );
+    law(
+        &mut v,
+        "hist_rd_busy == hist_lines_read",
+        c(Ctr::HistRdBusy),
+        c(Ctr::HistLinesRead),
+    );
+
+    // 7. Every line granted on the endpoint read port belongs to exactly
+    // one pass.
+    law(
+        &mut v,
+        "qpi_lines_read == hist_lines_read + input_lines",
+        c(Ctr::QpiLinesRead),
+        c(Ctr::HistLinesRead) + c(Ctr::InputLines),
+    );
+
+    // 8. The writeback round-robin pops exactly 0 or 1 combined line per
+    // scatter cycle.
+    law(
+        &mut v,
+        "rr_idle_cycles + combined lines == scatter_cycles",
+        c(Ctr::RrIdleCycles) + comb_out,
+        c(Ctr::ScatterCycles),
+    );
+
+    // 9. Every stage-observed stall maps to exactly one endpoint denial
+    // (credit exhaustion or replay window), and vice versa.
+    law(
+        &mut v,
+        "stage stalls == endpoint stalls",
+        c(Ctr::RdStall) + c(Ctr::WrStall) + c(Ctr::HistRdStall),
+        c(Ctr::QpiReadStallCycles) + c(Ctr::QpiWriteStallCycles) + c(Ctr::QpiReplayStallCycles),
+    );
+
+    // 10. BRAM accounting: one fill-rate read per combined tuple, one
+    // count read per emitted line.
+    law(
+        &mut v,
+        "fill_bram_reads == comb_tuples_in",
+        c(Ctr::FillBramReads),
+        c(Ctr::CombTuplesIn),
+    );
+    law(
+        &mut v,
+        "count_bram_reads == wb_lines_emitted",
+        c(Ctr::CountBramReads),
+        c(Ctr::WbLinesEmitted),
+    );
+
+    // 11. Every input fetch classifies in the endpoint cache.
+    law(
+        &mut v,
+        "ep_cache hits + misses == input_lines",
+        c(Ctr::EpCacheHits) + c(Ctr::EpCacheMisses),
+        c(Ctr::InputLines),
+    );
+
+    // 12. At least one translation per granted input read and output
+    // write (denied attempts may re-translate, so ≥ not ==).
+    law_ge(
+        &mut v,
+        "pt_translations >= input_lines + lines_written",
+        c(Ctr::PtTranslations),
+        c(Ctr::InputLines) + c(Ctr::LinesWritten),
+    );
+
+    v
+}
+
+/// Panic with every violated law listed; no-op when all laws hold.
+pub fn assert_conserved(s: &ObsSnapshot) {
+    let violations = conservation_violations(s);
+    assert!(
+        violations.is_empty(),
+        "counter conservation violated:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+/// Check that per-partition counts sum to the expected tuple total;
+/// returns a diagnostic on mismatch.
+pub fn partition_counts_violation(counts: &[usize], n: usize) -> Option<String> {
+    let sum: usize = counts.iter().sum();
+    (sum != n).then(|| format!("partition counts sum to {sum}, expected {n}"))
+}
+
+/// Panic unless per-partition counts sum to `n`.
+pub fn assert_partition_counts(counts: &[usize], n: usize) {
+    if let Some(msg) = partition_counts_violation(counts, n) {
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Ctr;
+
+    /// Build a snapshot that satisfies every law: 16 tuples, 8 lanes,
+    /// 3 lines written (one flushed with 8 dummies... use consistent math).
+    fn conserved() -> ObsSnapshot {
+        let mut s = ObsSnapshot::default();
+        let c = &mut s.counters;
+        c.set(Ctr::Lanes, 8);
+        c.set(Ctr::Partitions, 4);
+        c.set(Ctr::TuplesIn, 20);
+        c.set(Ctr::TuplesOut, 20);
+        c.set(Ctr::CombTuplesIn, 20);
+        c.set(Ctr::PaddingSlots, 4);
+        c.set(Ctr::CombFlushDummies, 4);
+        c.set(Ctr::InputLines, 3);
+        c.set(Ctr::LinesWritten, 3);
+        c.set(Ctr::CombLinesOut, 2);
+        c.set(Ctr::CombFlushLines, 1);
+        c.set(Ctr::WbLinesEmitted, 3);
+        c.set(Ctr::QpiLinesWritten, 3);
+        c.set(Ctr::QpiLinesRead, 6);
+        c.set(Ctr::HistLinesRead, 3);
+        c.set(Ctr::HistCycles, 10);
+        c.set(Ctr::HistRdBusy, 3);
+        c.set(Ctr::HistRdStall, 1);
+        c.set(Ctr::HistRdIdle, 6);
+        c.set(Ctr::ScatterCycles, 12);
+        c.set(Ctr::RdBusy, 3);
+        c.set(Ctr::RdStall, 2);
+        c.set(Ctr::RdThrottled, 1);
+        c.set(Ctr::RdIdle, 6);
+        c.set(Ctr::WrBusy, 3);
+        c.set(Ctr::WrStall, 1);
+        c.set(Ctr::WrIdle, 8);
+        c.set(Ctr::RrIdleCycles, 9);
+        c.set(Ctr::QpiReadStallCycles, 3);
+        c.set(Ctr::QpiWriteStallCycles, 1);
+        c.set(Ctr::FillBramReads, 20);
+        c.set(Ctr::CountBramReads, 3);
+        c.set(Ctr::EpCacheHits, 1);
+        c.set(Ctr::EpCacheMisses, 2);
+        c.set(Ctr::PtTranslations, 6);
+        s
+    }
+
+    #[test]
+    fn consistent_snapshot_has_no_violations() {
+        assert_conserved(&conserved());
+    }
+
+    #[test]
+    fn each_broken_law_is_reported() {
+        let mut s = conserved();
+        s.counters.set(Ctr::TuplesOut, 19);
+        let v = conservation_violations(&s);
+        // Breaks tuple conservation AND slot conservation.
+        assert!(v.iter().any(|m| m.contains("tuples_out == tuples_in")));
+        assert!(v.iter().any(|m| m.contains("lines_written * lanes")));
+    }
+
+    #[test]
+    #[should_panic(expected = "counter conservation violated")]
+    fn assert_conserved_panics_on_violation() {
+        let mut s = conserved();
+        s.counters.set(Ctr::QpiLinesWritten, 99);
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn partition_counts_predicate() {
+        assert!(partition_counts_violation(&[3, 4, 5], 12).is_none());
+        assert!(partition_counts_violation(&[3, 4], 12).is_some());
+        assert_partition_counts(&[6, 6], 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition counts sum")]
+    fn assert_partition_counts_panics() {
+        assert_partition_counts(&[1], 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Log2-bucketed value histograms for per-cycle quantities such as lane
+//! FIFO occupancy or stall-burst lengths.
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `k` (1 ≤ k ≤ 64)
+/// holds values in `[2^(k-1), 2^k)`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHistogram {
+    buckets: [u64; BUCKETS],
+    samples: u64,
+    max: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        CycleHistogram {
+            buckets: [0; BUCKETS],
+            samples: 0,
+            max: 0,
+        }
+    }
+}
+
+impl CycleHistogram {
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.samples += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Raw bucket counts (index = log2 bucket, see [`BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Add every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &CycleHistogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.samples += other.samples;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let mut h = CycleHistogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        // 0 → b0; 1 → b1; 2,3 → b2; 4,7 → b3; 8 → b4; MAX → b64.
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 2);
+        assert_eq!(h.buckets()[4], 1);
+        assert_eq!(h.buckets()[64], 1);
+        assert_eq!(h.samples(), 8);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_sums_buckets() {
+        let mut a = CycleHistogram::default();
+        a.record(5);
+        let mut b = CycleHistogram::default();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+        assert_eq!(a.buckets()[3], 2);
+        assert_eq!(a.max(), 100);
+    }
+}

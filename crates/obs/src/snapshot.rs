@@ -1,0 +1,340 @@
+//! The immutable end-of-run observability snapshot, with a hand-rolled
+//! JSON encoding (this workspace carries no serde) and a tolerant parser
+//! in the same idiom as `fpart-bench`'s record codec: unknown keys are
+//! ignored, missing numbers default to zero.
+
+use crate::counters::{CounterSet, Ctr};
+use crate::trace::TraceEvent;
+use crate::ObsLevel;
+
+/// Everything one pipeline run recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Level the run was recorded at.
+    pub level: ObsLevel,
+    /// Final counter values.
+    pub counters: CounterSet,
+    /// Log2-bucketed lane-FIFO occupancy samples (see [`crate::CycleHistogram`]).
+    pub occupancy: Vec<u64>,
+    /// Retained trace events (empty below [`ObsLevel::Trace`]).
+    pub events: Vec<TraceEvent>,
+    /// Trace events evicted from the ring to make room.
+    pub dropped_events: u64,
+}
+
+impl Default for ObsSnapshot {
+    fn default() -> Self {
+        ObsSnapshot {
+            level: ObsLevel::Off,
+            counters: CounterSet::default(),
+            occupancy: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+}
+
+impl ObsSnapshot {
+    /// Value of one counter.
+    pub fn get(&self, ctr: Ctr) -> u64 {
+        self.counters.get(ctr)
+    }
+
+    /// Sum another snapshot's counters and occupancy into this one and
+    /// append its events (used to roll up multi-attempt degradation runs).
+    pub fn absorb(&mut self, other: &ObsSnapshot) {
+        self.counters.merge(&other.counters);
+        if self.occupancy.len() < other.occupancy.len() {
+            self.occupancy.resize(other.occupancy.len(), 0);
+        }
+        for (dst, src) in self.occupancy.iter_mut().zip(&other.occupancy) {
+            *dst += src;
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.dropped_events += other.dropped_events;
+    }
+
+    /// Serialize as a single JSON object. Every counter key is always
+    /// present, in [`Ctr::ALL`] order, so the schema (and golden files)
+    /// stay byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\"level\":\"");
+        s.push_str(self.level.label());
+        s.push_str("\",\"counters\":{");
+        for (i, (ctr, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(ctr.name());
+            s.push_str("\":");
+            s.push_str(&v.to_string());
+        }
+        s.push_str("},\"occupancy\":[");
+        for (i, v) in self.occupancy.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&v.to_string());
+        }
+        s.push_str("],\"dropped_events\":");
+        s.push_str(&self.dropped_events.to_string());
+        s.push_str(",\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"cycle\":");
+            s.push_str(&e.cycle.to_string());
+            s.push_str(",\"stage\":\"");
+            s.push_str(&escape(&e.stage));
+            s.push_str("\",\"event\":\"");
+            s.push_str(&escape(&e.event));
+            s.push_str("\",\"value\":");
+            s.push_str(&e.value.to_string());
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Tolerant parse of [`ObsSnapshot::to_json`] output. Unknown counter
+    /// names are ignored; missing sections default to empty. Returns
+    /// `None` only when the input is not one JSON object.
+    pub fn from_json(text: &str) -> Option<ObsSnapshot> {
+        let body = text.trim();
+        if !body.starts_with('{') || !body.ends_with('}') {
+            return None;
+        }
+        let mut snap = ObsSnapshot {
+            level: string_field(body, "level")
+                .and_then(|s| ObsLevel::parse(&s))
+                .unwrap_or(ObsLevel::Off),
+            dropped_events: number_field(body, "dropped_events").unwrap_or(0),
+            ..ObsSnapshot::default()
+        };
+        if let Some(counters) = delimited_section(body, "\"counters\":", '{', '}') {
+            for pair in split_top_level(&counters) {
+                let Some((key, val)) = pair.split_once(':') else {
+                    continue;
+                };
+                let key = key.trim().trim_matches('"');
+                if let (Some(ctr), Ok(v)) = (Ctr::from_name(key), val.trim().parse::<u64>()) {
+                    snap.counters.set(ctr, v);
+                }
+            }
+        }
+        if let Some(occ) = delimited_section(body, "\"occupancy\":", '[', ']') {
+            snap.occupancy = occ
+                .split(',')
+                .filter_map(|v| v.trim().parse::<u64>().ok())
+                .collect();
+        }
+        if let Some(events) = delimited_section(body, "\"events\":", '[', ']') {
+            for obj in split_top_level(&events) {
+                let obj = obj.trim();
+                if !obj.starts_with('{') {
+                    continue;
+                }
+                snap.events.push(TraceEvent {
+                    cycle: number_field(obj, "cycle").unwrap_or(0),
+                    stage: string_field(obj, "stage").unwrap_or_default(),
+                    event: string_field(obj, "event").unwrap_or_default(),
+                    value: number_field(obj, "value").unwrap_or(0),
+                });
+            }
+        }
+        Some(snap)
+    }
+}
+
+/// Escape a string for embedding in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Slice out the contents between the `open`/`close` pair that follows
+/// `key` (e.g. the body of `"counters":{...}`), handling nesting.
+fn delimited_section(body: &str, key: &str, open: char, close: char) -> Option<String> {
+    let start = body.find(key)? + key.len();
+    let rest = &body[start..];
+    let first = rest.find(open)?;
+    let mut depth = 0usize;
+    for (i, c) in rest[first..].char_indices() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(rest[first + 1..first + i].to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Split a JSON object/array body on commas at nesting depth zero,
+/// ignoring commas inside strings or nested structures.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut prev_escape = false;
+    let mut cur = String::new();
+    for c in body.chars() {
+        if in_str {
+            cur.push(c);
+            if prev_escape {
+                prev_escape = false;
+            } else if c == '\\' {
+                prev_escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// First `"key":"value"` string field inside `body`.
+fn string_field(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = body.find(&pat)? + pat.len();
+    let rest = &body[start..];
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in rest.chars() {
+        if escaped {
+            match c {
+                'n' => out.push('\n'),
+                other => out.push(other),
+            }
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(out);
+        } else {
+            out.push(c);
+        }
+    }
+    None
+}
+
+/// First `"key":<number>` field inside `body`.
+fn number_field(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObsSnapshot {
+        let mut s = ObsSnapshot {
+            level: ObsLevel::Trace,
+            occupancy: vec![1, 0, 3],
+            dropped_events: 2,
+            ..ObsSnapshot::default()
+        };
+        s.counters.set(Ctr::TuplesIn, 1000);
+        s.counters.set(Ctr::QpiReadStallCycles, 17);
+        s.events.push(TraceEvent {
+            cycle: 42,
+            stage: "scatter".into(),
+            event: "flush_start".into(),
+            value: 7,
+        });
+        s
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let s = sample();
+        let json = s.to_json();
+        let back = ObsSnapshot::from_json(&json).expect("parse");
+        assert_eq!(back, s);
+        // Stability: re-serializing the parsed value is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn parser_ignores_unknown_keys_and_defaults_missing() {
+        let json = "{\"level\":\"counters\",\"counters\":{\"tuples_in\":5,\"future_counter\":9},\"extra\":true}";
+        let s = ObsSnapshot::from_json(json).expect("parse");
+        assert_eq!(s.level, ObsLevel::Counters);
+        assert_eq!(s.get(Ctr::TuplesIn), 5);
+        assert_eq!(s.dropped_events, 0);
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn all_counter_keys_always_serialized() {
+        let json = ObsSnapshot::default().to_json();
+        for &c in Ctr::ALL {
+            assert!(
+                json.contains(&format!("\"{}\":", c.name())),
+                "missing key {}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_occupancy() {
+        let mut a = sample();
+        let b = sample();
+        a.absorb(&b);
+        assert_eq!(a.get(Ctr::TuplesIn), 2000);
+        assert_eq!(a.occupancy, vec![2, 0, 6]);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.dropped_events, 4);
+    }
+
+    #[test]
+    fn non_object_input_rejected() {
+        assert!(ObsSnapshot::from_json("[1,2,3]").is_none());
+        assert!(ObsSnapshot::from_json("").is_none());
+    }
+}

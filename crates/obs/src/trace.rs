@@ -1,0 +1,78 @@
+//! A bounded drop-oldest ring buffer of pipeline stage events.
+
+use std::collections::VecDeque;
+
+/// One recorded stage event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle the event fired on.
+    pub cycle: u64,
+    /// Pipeline stage name (e.g. `"scatter"`).
+    pub stage: String,
+    /// Event name within the stage (e.g. `"flush_start"`).
+    pub event: String,
+    /// Free-form payload (counts, cursors, …).
+    pub value: u64,
+}
+
+/// Fixed-capacity event ring; pushing beyond capacity drops the oldest
+/// event and counts it.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// New ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 64)),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&mut self, cycle: u64, stage: &str, event: &str, value: u64) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceEvent {
+            cycle,
+            stage: stage.to_string(),
+            event: event.to_string(),
+            value,
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Number of events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_oldest_beyond_capacity() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u64 {
+            r.push(i, "s", "e", i);
+        }
+        let evts = r.events();
+        assert_eq!(evts.len(), 3);
+        assert_eq!(evts[0].cycle, 2);
+        assert_eq!(evts[2].cycle, 4);
+        assert_eq!(r.dropped(), 2);
+    }
+}

@@ -6,7 +6,7 @@
 //! reproduce the identical degradation report twice.
 
 use fpart::fpga::{
-    FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity,
+    FpgaPartitioner, InputMode, ObsLevel, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity,
 };
 use fpart::hwsim::{Fault, FaultPlan, FaultSpec};
 use fpart::join::fallback::{AttemptPath, AttemptRecord, DegradationReport, EscalationChain};
@@ -25,6 +25,7 @@ fn pad_cfg(bits: u32, pad: usize) -> PartitionerConfig {
         fifo_capacity: 64,
         out_fifo_capacity: 8,
         fidelity: SimFidelity::CycleAccurate,
+        obs: ObsLevel::Off,
     }
 }
 
@@ -147,6 +148,86 @@ fn injected_midpoint_overflow_degrades_and_reproduces() {
     // Same plan, same input → the identical report, field for field.
     let (_, report2) = run();
     assert_eq!(report_fingerprint(&report), report_fingerprint(&report2));
+}
+
+/// Every injected fault that a run survives must be visible in the
+/// observability snapshot, with counts matching the plan exactly, and
+/// the snapshot must still satisfy every conservation law.
+#[test]
+fn injected_faults_are_visible_in_counters() {
+    use fpart::hwsim::PassId;
+    use fpart::obs::Ctr;
+
+    let keys: Vec<u32> = KeyDistribution::Random.generate_keys(8192, 13);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    // Two scatter-pass link transients (bursts 2 and 3) plus one
+    // page-table transient absorbing 3 retries.
+    let plan = FaultPlan::new()
+        .with(Fault::QpiTransient {
+            pass: PassId::Scatter,
+            op_index: 100,
+            burst: 2,
+        })
+        .with(Fault::QpiTransient {
+            pass: PassId::Scatter,
+            op_index: 500,
+            burst: 3,
+        })
+        .with(Fault::PageTableTransient {
+            translation_index: 7,
+            retries: 3,
+        });
+
+    let cfg = pad_cfg(5, 512).with_obs(ObsLevel::Counters);
+    let (_, report) = FpgaPartitioner::new(cfg)
+        .with_faults(plan)
+        .partition(&rel)
+        .expect("transients are survivable");
+
+    let obs = &report.obs;
+    assert_eq!(obs.get(Ctr::QpiLinkErrors), 2, "one per transient");
+    assert_eq!(obs.get(Ctr::QpiLinkReplays), 5, "sum of the bursts");
+    assert_eq!(obs.get(Ctr::PtRetryEvents), 1);
+    assert_eq!(obs.get(Ctr::PtRetriesTotal), 3);
+    // The snapshot agrees with the legacy report fields.
+    assert_eq!(obs.get(Ctr::QpiLinkErrors), report.qpi.link_errors);
+    assert_eq!(obs.get(Ctr::QpiLinkReplays), report.qpi.link_replays);
+    assert_eq!(obs.get(Ctr::PtRetriesTotal), report.pt_retries);
+    // Faults distort timing, never the conservation laws.
+    fpart::obs::asserts::assert_conserved(obs);
+}
+
+/// A degradation run exposes its fault history through the report's
+/// counter view: parity aborts, overflow aborts and attempt counts.
+#[test]
+fn parity_events_visible_in_degradation_report() {
+    use fpart::obs::Ctr;
+
+    // Skewed input + zero padding overflows PAD; the histogram-BRAM flip
+    // then kills the HIST retry, so only the CPU completes.
+    let r_keys: Vec<u32> = KeyDistribution::Random.generate_keys(256, 3);
+    let keys = zipf_foreign_keys(&r_keys, 4096, 1.5, 0xBAD);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let plan = FaultPlan::new().with(Fault::BramFlip {
+        bram: fpart::hwsim::BramKind::Histogram,
+        addr: 1,
+    });
+    let fpga = FpgaPartitioner::new(pad_cfg(6, 0)).with_faults(plan);
+    let (parts, report) = EscalationChain::new(2).run(&fpga, &rel).unwrap();
+    assert_eq!(parts.total_valid(), 4096);
+    assert_eq!(report.final_path(), AttemptPath::Cpu);
+
+    assert_eq!(report.parity_events(), 1, "the HIST retry hit the flip");
+    assert_eq!(report.overflow_events(), 1, "the PAD attempt overflowed");
+    let counters = report.fault_counters();
+    assert_eq!(counters.get(Ctr::FallbackAttempts), 3, "PAD, HIST, CPU");
+    assert_eq!(counters.get(Ctr::BramParityEvents), 1);
+    assert_eq!(counters.get(Ctr::PadOverflowEvents), 1);
+    assert_eq!(
+        counters.get(Ctr::FallbackWastedCycles),
+        report.wasted_cycles()
+    );
+    assert!(report.wasted_cycles() > 0, "both aborts discarded work");
 }
 
 /// Seeded fault campaigns reproduce end to end: the same
