@@ -29,8 +29,8 @@ fn scatter_strategies(c: &mut Criterion) {
         ("two_pass", Strategy::TwoPass { first_bits: 5 }),
     ] {
         g.bench_with_input(BenchmarkId::new("strategy", label), &strategy, |b, &st| {
-            let p = Partitioner::cpu_with_strategy(f, 1, st);
-            b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()));
+            let p = CpuPartitioner::new(f, 1).with_strategy(st);
+            b.iter(|| black_box(p.partition(black_box(&rel)).0.total_valid()));
         });
     }
     g.finish();
@@ -45,8 +45,8 @@ fn fanout_sweep(c: &mut Criterion) {
     g.sample_size(10);
     for bits in [6u32, 8, 10, 12, 14] {
         g.bench_with_input(BenchmarkId::new("bits", bits), &bits, |b, &bits| {
-            let p = Partitioner::cpu(PartitionFn::Murmur { bits }, 1);
-            b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()));
+            let p = CpuPartitioner::new(PartitionFn::Murmur { bits }, 1);
+            b.iter(|| black_box(p.partition(black_box(&rel)).0.total_valid()));
         });
     }
     g.finish();
@@ -101,8 +101,8 @@ fn range_vs_hash_partitioning(c: &mut Criterion) {
         b.iter(|| black_box(range_partition(black_box(&rel), &splitters).0.total_valid()))
     });
     g.bench_function("murmur_1024", |b| {
-        let p = Partitioner::cpu(PartitionFn::Murmur { bits: 10 }, 1);
-        b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()))
+        let p = CpuPartitioner::new(PartitionFn::Murmur { bits: 10 }, 1);
+        b.iter(|| black_box(p.partition(black_box(&rel)).0.total_valid()))
     });
     g.finish();
 }

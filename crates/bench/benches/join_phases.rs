@@ -12,17 +12,17 @@ const BITS: u32 = 9;
 fn phases(c: &mut Criterion) {
     let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(N as f64 / 128e6, 3);
     let f = PartitionFn::Murmur { bits: BITS };
-    let partitioner = Partitioner::cpu(f, 1);
-    let (rp, _) = partitioner.partition(&r).unwrap();
-    let (sp, _) = partitioner.partition(&s).unwrap();
+    let partitioner = CpuPartitioner::new(f, 1);
+    let (rp, _) = partitioner.partition(&r);
+    let (sp, _) = partitioner.partition(&s);
 
     let mut g = c.benchmark_group("join_phases");
     g.throughput(Throughput::Elements((r.len() + s.len()) as u64));
     g.sample_size(10);
     g.bench_function("partition_both", |b| {
         b.iter(|| {
-            let (rp, _) = partitioner.partition(black_box(&r)).unwrap();
-            let (sp, _) = partitioner.partition(black_box(&s)).unwrap();
+            let (rp, _) = partitioner.partition(black_box(&r));
+            let (sp, _) = partitioner.partition(black_box(&s));
             black_box((rp.total_valid(), sp.total_valid()))
         })
     });

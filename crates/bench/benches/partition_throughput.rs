@@ -19,8 +19,8 @@ fn cpu_partitioning(c: &mut Criterion) {
     g.sample_size(10);
     for f in [PartitionFn::Radix { bits: BITS }, PartitionFn::Murmur { bits: BITS }] {
         g.bench_with_input(BenchmarkId::new("swwcb_nt", f.label()), &f, |b, &f| {
-            let p = Partitioner::cpu(f, 1);
-            b.iter(|| black_box(p.partition(black_box(&rel)).unwrap().0.total_valid()));
+            let p = CpuPartitioner::new(f, 1);
+            b.iter(|| black_box(p.partition(black_box(&rel)).0.total_valid()));
         });
     }
     g.finish();

@@ -62,7 +62,7 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         let plan = FaultPlan::new().with(Fault::PadOverflow { consumed });
         let p = FpgaPartitioner::new(config.clone()).with_faults(plan);
         let (parts, report) = chain.run(&p, &rel).expect("chain must recover");
-        let recovery = report.fpga.as_ref().map(|r| r.total_cycles()).unwrap_or(0);
+        let recovery = report.fpga().map(|r| r.total_cycles()).unwrap_or(0);
         cost.row(vec![
             format!("{:.0}%", frac * 100.0),
             format!(

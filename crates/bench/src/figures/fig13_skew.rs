@@ -75,12 +75,12 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
         // Checked at the fill-preserving scaled fan-out so the
         // threshold matches full-scale behaviour. Batched fidelity
         // reports the same overflow partition as the ticked circuit.
-        let pad = Partitioner::fpga_with_fidelity(
+        let pad = FpgaPartitioner::with_modes(
             PartitionFn::Murmur { bits: pad_bits },
             OutputMode::pad_default(),
             InputMode::Rid,
-            SimFidelity::Batched,
-        );
+        )
+        .with_sim_fidelity(SimFidelity::Batched);
         let pad_outcome = match pad.partition(&s) {
             Ok(_) => "ok".to_string(),
             Err(FpartError::PartitionOverflow { consumed, .. }) => {
@@ -170,7 +170,7 @@ mod tests {
                 WorkloadId::A
                     .spec()
                     .skewed_row_relations::<Tuple8>(scale.fraction, z, scale.seed);
-            Partitioner::fpga_with_modes(f, OutputMode::pad_default(), InputMode::Rid)
+            FpgaPartitioner::with_modes(f, OutputMode::pad_default(), InputMode::Rid)
                 .partition(&s)
                 .is_ok()
         };

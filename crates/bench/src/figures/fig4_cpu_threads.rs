@@ -68,9 +68,7 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     for dist in KeyDistribution::ALL {
         let rel = relation(n, dist, scale.seed);
         for f in [PartitionFn::Radix { bits }, PartitionFn::Murmur { bits }] {
-            let (_, report) = Partitioner::cpu(f, scale.host_threads)
-                .partition(&rel)
-                .expect("cpu partition");
+            let (_, report) = CpuPartitioner::new(f, scale.host_threads).partition(&rel);
             m.row(vec![
                 format!("{} ({})", f.label(), dist.label()),
                 fnum(report.mtuples_per_sec()),

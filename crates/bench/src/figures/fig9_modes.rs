@@ -81,9 +81,8 @@ pub fn run(scale: &Scale) -> Vec<TextTable> {
     // clock is the result, so it must not share the cores.
     let rel = relation(n, KeyDistribution::Linear, scale.seed);
     let t_cpu = std::time::Instant::now();
-    let (_, cpu_report) = Partitioner::cpu(PartitionFn::Murmur { bits }, scale.host_threads)
-        .partition(&rel)
-        .expect("cpu partition");
+    let (_, cpu_report) =
+        CpuPartitioner::new(PartitionFn::Murmur { bits }, scale.host_threads).partition(&rel);
     crate::record::emit(
         "fig9",
         "CPU measured",

@@ -16,6 +16,7 @@ pub mod fig3_cdf;
 pub mod fig4_cpu_threads;
 pub mod fig8_width;
 pub mod fig9_modes;
+pub mod planner_accuracy;
 pub mod selector_scan;
 pub mod table1_coherence;
 pub mod table2_resources;
@@ -117,6 +118,11 @@ pub const ALL: &[Figure] = &[
         id: "aggregation",
         description: "Extension: FPGA group-by with synchronizing caches (Discussion)",
         run: aggregation::run,
+    },
+    Figure {
+        id: "planner",
+        description: "Extension: engine-planner accuracy — planned vs measured winner",
+        run: planner_accuracy::run,
     },
     Figure {
         id: "degradation",

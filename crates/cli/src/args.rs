@@ -17,6 +17,7 @@ commands:
   groupby     run the FPGA aggregating-cache group-by (simulated)
   sort        sort a generated relation via partitioning
   model       print the Section 4.6 analytical prediction
+  plan        explain what the engine planner would pick for a relation
   faults      sweep fault-injection points through the degradation chain
   trace       run one simulated partitioning and dump its observability snapshot
   help        show this text
@@ -62,6 +63,11 @@ sort flags:
 model flags:
   --mode <m>            as above (default pad/rid)
   --gbps <g>            override link bandwidth (flat curve)
+
+plan flags:
+  --fn <f>              radix|murmur (default murmur)
+  --hybrid              let the planner consider the CPU+FPGA split engine
+  --json                emit the plan explanation as JSON on stdout (stable schema)
 
 trace flags:
   --mode <m>            hist/rid|hist/vrid|pad/rid|pad/vrid (default hist/rid)
@@ -187,6 +193,25 @@ pub enum Command {
         mode: ModePair,
         /// Optional flat link bandwidth.
         gbps: Option<f64>,
+    },
+    /// `fpart plan`.
+    Plan {
+        /// Tuples.
+        n: usize,
+        /// Distribution.
+        dist: KeyDistribution,
+        /// Seed.
+        seed: u64,
+        /// Partition bits.
+        bits: u32,
+        /// Threads the CPU back-end would use.
+        threads: usize,
+        /// radix or murmur.
+        hash: bool,
+        /// Let the planner consider the CPU⊕FPGA split engine.
+        hybrid: bool,
+        /// Emit the explanation as JSON instead of human-readable text.
+        json: bool,
     },
     /// `fpart faults`.
     Faults {
@@ -325,12 +350,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("missing command".into());
     };
-    // `--json` (trace) is the one valueless flag in the surface; strip it
-    // before the pair-wise parse.
-    let json = cmd == "trace" && rest.iter().any(|a| a == "--json");
+    // `--json` (trace, plan) and `--hybrid` (plan) are the only
+    // valueless flags in the surface; strip them before the pair-wise
+    // parse.
+    let json = (cmd == "trace" || cmd == "plan") && rest.iter().any(|a| a == "--json");
+    let hybrid = cmd == "plan" && rest.iter().any(|a| a == "--hybrid");
     let filtered: Vec<String>;
-    let rest: &[String] = if json {
-        filtered = rest.iter().filter(|a| *a != "--json").cloned().collect();
+    let rest: &[String] = if json || hybrid {
+        filtered = rest
+            .iter()
+            .filter(|a| *a != "--json" && *a != "--hybrid")
+            .cloned()
+            .collect();
         &filtered
     } else {
         rest
@@ -464,6 +495,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .map(|v| v.parse())
                     .transpose()
                     .map_err(|_| "--gbps: bad value".to_string())?,
+            })
+        }
+        "plan" => {
+            flags.unknown_check(&["n", "dist", "seed", "bits", "threads", "fn"])?;
+            Ok(Command::Plan {
+                n: flags.num("n", 1_000_000)?,
+                dist: parse_dist(flags.get("dist"))?,
+                seed: flags.num("seed", 42)?,
+                bits: flags.num("bits", 13)?,
+                threads: flags.num("threads", default_threads())?,
+                hash: match flags.get("fn").unwrap_or("murmur") {
+                    "murmur" | "hash" => true,
+                    "radix" => false,
+                    other => return Err(format!("--fn: unknown function {other:?}")),
+                },
+                hybrid,
+                json,
             })
         }
         "faults" => {
@@ -726,8 +774,53 @@ mod tests {
     fn trace_rejects_bad_flags() {
         assert!(parse(&argv("trace --level verbose")).is_err());
         assert!(parse(&argv("trace --sweep 2")).is_err());
-        // --json is only valueless under trace.
+        // --json is only valueless under trace and plan.
         assert!(parse(&argv("partition --json")).is_err());
+        // --hybrid is only valueless under plan.
+        assert!(parse(&argv("trace --hybrid")).is_err());
+    }
+
+    #[test]
+    fn plan_defaults_and_flags() {
+        let cmd = parse(&argv("plan")).unwrap();
+        match cmd {
+            Command::Plan {
+                n,
+                bits,
+                hash,
+                hybrid,
+                json,
+                ..
+            } => {
+                assert_eq!(n, 1_000_000);
+                assert_eq!(bits, 13);
+                assert!(hash);
+                assert!(!hybrid);
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "plan --json --hybrid --n 4096 --bits 6 --threads 4 --fn radix",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan {
+                n,
+                bits,
+                threads,
+                hash,
+                hybrid,
+                json,
+                ..
+            } => {
+                assert_eq!((n, bits, threads), (4096, 6, 4));
+                assert!(!hash);
+                assert!(hybrid);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             lsd,
         } => sort(n, dist, seed, threads, lsd),
         Command::Model { n, mode, gbps } => model(n, mode, gbps),
+        Command::Plan {
+            n,
+            dist,
+            seed,
+            bits,
+            threads,
+            hash,
+            hybrid,
+            json,
+        } => plan(n, dist, seed, bits, threads, hash, hybrid, json),
         Command::Dist {
             nodes,
             scale,
@@ -201,6 +211,35 @@ fn mode_pair(mode: ModePair) -> (OutputMode, InputMode) {
     }
 }
 
+/// Explain what the [`EnginePlanner`] would decide for a generated
+/// relation: back-end (cost-model comparison), output mode (key
+/// sample), fidelity and degradation chain. `--json` prints the
+/// machine-readable [`PlanExplanation`] (stable schema, golden-tested).
+#[allow(clippy::too_many_arguments)]
+fn plan(
+    n: usize,
+    dist: KeyDistribution,
+    seed: u64,
+    bits: u32,
+    threads: usize,
+    hash: bool,
+    hybrid: bool,
+    json: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let f = partition_fn(hash, bits);
+    let keys = dist.generate_keys::<u32>(n, seed);
+    let rel = Relation::<Tuple8>::from_keys(&keys);
+    let plan = EnginePlanner::new(threads)
+        .with_hybrid(hybrid)
+        .plan(&rel, f);
+    if json {
+        println!("{}", plan.explanation.to_json());
+    } else {
+        print!("{}", plan.explanation.to_text());
+    }
+    Ok(())
+}
+
 /// Arguments of the `faults` sweep (bundled; the flag surface is wide).
 struct FaultsArgs {
     n: usize,
@@ -271,8 +310,7 @@ fn faults(a: FaultsArgs) -> Result<(), Box<dyn std::error::Error>> {
         match chain.run(&p, &rel) {
             Ok((parts, report)) => {
                 let recovery = report
-                    .fpga
-                    .as_ref()
+                    .fpga()
                     .map(|r| {
                         format!(
                             "{} cycles vs {} clean",
@@ -462,12 +500,12 @@ fn partition(
     match backend {
         Backend::Cpu => {
             let rel = Relation::<Tuple8>::from_keys(&keys);
-            let p = Partitioner::cpu(f, threads);
-            let (parts, stats) = p.partition(&rel)?;
+            let p = CpuPartitioner::new(f, threads);
+            let (parts, report) = p.partition(&rel);
             println!(
                 "cpu ({threads} threads, measured): {:.1} Mtuples/s in {:.4} s",
-                stats.mtuples_per_sec(),
-                stats.seconds()
+                report.mtuples_per_sec(),
+                report.total_time().as_secs_f64()
             );
             print_balance(parts.histogram());
         }

@@ -17,15 +17,26 @@
 //! let rel = Relation::<Tuple8>::from_keys(&keys);
 //!
 //! // Partition it 256 ways with murmur hashing on the simulated FPGA…
-//! let fpga = Partitioner::fpga(PartitionFn::Murmur { bits: 8 });
-//! let (parts, stats) = fpga.partition(&rel).unwrap();
+//! let fpga = FpgaPartitioner::with_modes(
+//!     PartitionFn::Murmur { bits: 8 },
+//!     OutputMode::pad_default(),
+//!     InputMode::Rid,
+//! );
+//! let (parts, report) = fpga.partition(&rel).unwrap();
 //! assert_eq!(parts.total_valid(), 100_000);
-//! println!("simulated FPGA: {:.0} Mtuples/s", stats.mtuples_per_sec());
+//! println!("simulated FPGA: {:.0} Mtuples/s", report.mtuples_per_sec());
 //!
 //! // …and on the CPU with the SWWCB baseline.
-//! let cpu = Partitioner::cpu(PartitionFn::Murmur { bits: 8 }, 2);
-//! let (parts2, _) = cpu.partition(&rel).unwrap();
+//! let cpu = CpuPartitioner::new(PartitionFn::Murmur { bits: 8 }, 2);
+//! let (parts2, _) = cpu.partition(&rel);
 //! assert_eq!(parts.histogram(), parts2.histogram());
+//!
+//! // Or let the planner pick: output mode from a key sample, back-end
+//! // from the §4.6 cost model, degradation chain as policy.
+//! let plan = EnginePlanner::new(2).plan(&rel, PartitionFn::Murmur { bits: 8 });
+//! let (parts3, report) = plan.run(&rel).unwrap();
+//! assert_eq!(parts3.total_valid(), 100_000);
+//! assert!(!report.degraded());
 //! ```
 //!
 //! ## Crate map
@@ -40,9 +51,20 @@
 //! | [`obs`] | pipeline observability: counters, histograms, traces, conservation laws |
 //! | [`fpga`] | the partitioner circuit (Section 4) |
 //! | [`cpu`] | SWWCB / scalar / two-pass CPU partitioning (Section 3) |
-//! | [`join`] | radix hash join, hybrid join, aggregation (Section 5) |
+//! | [`join`] | radix hash join, hybrid join, aggregation (Section 5) — and the [`PartitionEngine`] back-end trait, [`EnginePlanner`] and [`HybridSplitEngine`] |
 //! | [`costmodel`] | Section 4.6 model + calibrated CPU/join models |
 //! | [`net`] | rack-scale distributed join (the paper's future use case 2) |
+//!
+//! ## Back-ends as engines
+//!
+//! Every partitioning back-end — [`cpu::CpuPartitioner`],
+//! [`fpga::FpgaPartitioner`] and the CPU⊕FPGA [`HybridSplitEngine`] —
+//! implements the object-safe [`PartitionEngine`] trait. The
+//! [`EnginePlanner`] prices them with the calibrated §4.6 cost models,
+//! samples the output mode, and returns a [`join::planner::Plan`] whose
+//! [`EscalationChain`] degrades PAD → HIST → CPU on aborts. The former
+//! closed `Partitioner` enum front-end is gone; construct engines
+//! directly or go through the planner.
 
 #![warn(missing_docs)]
 
@@ -59,13 +81,13 @@ pub use fpart_net as net;
 pub use fpart_obs as obs;
 pub use fpart_types as types;
 
-mod partitioner;
-
-pub use partitioner::{PartitionStats, Partitioner};
+pub use fpart_join::{
+    EngineCaps, EngineChoice, EnginePlanner, EscalationChain, HybridSplitEngine, HybridSplitStats,
+    ModePlan, ModePlanner, PartitionEngine, PartitionStats, PlanExplanation,
+};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::partitioner::{PartitionStats, Partitioner};
     pub use fpart_cpu::{CpuPartitioner, Strategy};
     pub use fpart_datagen::{KeyDistribution, Workload, WorkloadId};
     pub use fpart_fpga::{
@@ -75,7 +97,9 @@ pub mod prelude {
     pub use fpart_hash::PartitionFn;
     pub use fpart_hwsim::{Fault, FaultPlan, FaultSpec};
     pub use fpart_join::{
-        CpuRadixJoin, DegradationReport, EscalationChain, FallbackPolicy, HybridJoin,
+        CpuRadixJoin, DegradationReport, EngineChoice, EnginePlanner, EscalationChain,
+        FallbackPolicy, HybridJoin, HybridSplitEngine, PartitionEngine, PartitionStats, Plan,
+        PlanExplanation, PlannedRadixJoin,
     };
     pub use fpart_obs::{ObsSnapshot, Recorder};
     pub use fpart_types::{

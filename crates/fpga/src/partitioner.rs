@@ -19,6 +19,7 @@
 //! the test-suite asserts — the paper's headline "fully pipelined, no
 //! internal stalls" property.
 
+use fpart_hash::PartitionFn;
 use fpart_hwsim::{
     BramKind, FaultInjector, FaultPlan, Fifo, PageAllocator, PageTable, PassId, QpiConfig,
     QpiEndpoint, QpiStats,
@@ -154,6 +155,27 @@ impl FpgaPartitioner {
             qpi: QpiConfig::harp(curve),
             faults: None,
         }
+    }
+
+    /// A partitioner with the paper-default configuration for the given
+    /// partition function and (output, input) modes — the common case
+    /// when callers do not need to tweak the padded capacity or
+    /// fidelity.
+    pub fn with_modes(partition_fn: PartitionFn, output: OutputMode, input: InputMode) -> Self {
+        Self::new(PartitionerConfig {
+            partition_fn,
+            ..PartitionerConfig::paper_default(output, input)
+        })
+    }
+
+    /// Builder: run subsequent simulations at `fidelity`. Batched
+    /// fidelity produces the same partitioned bytes (and the same
+    /// overflow partition, if any) orders of magnitude faster; use it
+    /// when only the functional outcome and the analytic cycle count
+    /// matter.
+    pub fn with_sim_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.config = self.config.clone().with_fidelity(fidelity);
+        self
     }
 
     /// A partitioner with an explicit QPI model — e.g. the raw 25.6 GB/s

@@ -1,0 +1,649 @@
+//! The unified back-end interface: every partitioner — CPU threads, the
+//! simulated FPGA circuit, and the hybrid CPU⊕FPGA split — behind one
+//! object-safe [`PartitionEngine`] trait.
+//!
+//! The paper's hybrid join treats partitioning as a pluggable
+//! sub-operator; Section 4.6's cost model tells a planner *which*
+//! back-end wins at a given bandwidth. This module makes both first
+//! class: engines expose their modeled cost through
+//! [`PartitionEngine::estimate`] (so [`crate::planner::EnginePlanner`]
+//! can rank them), their degradation affordances through
+//! [`PartitionEngine::capabilities`] and
+//! [`PartitionEngine::hist_fallback`] (so
+//! [`crate::fallback::EscalationChain`] can drive any engine, not just
+//! the FPGA), and their observability through a per-run
+//! [`PartitionStats`].
+//!
+//! [`HybridSplitEngine`] implements the paper's CPU/FPGA concurrency
+//! discussion literally: the relation is carved into two contiguous
+//! shares sized by the *interfered* bandwidth models
+//! (`costmodel::overlap` — both agents share the memory bus, so the
+//! FPGA sees the interfered curve and the CPU keeps ~72% of its solo
+//! throughput), each share is partitioned by its back-end, and the two
+//! partial outputs are stitched into one dense [`PartitionedRelation`]
+//! with merged statistics and a merged observability snapshot.
+
+use fpart_costmodel::cpu::DistributionKind;
+use fpart_costmodel::{CpuCostModel, FpgaCostModel, ModePair};
+use fpart_cpu::{CpuPartitioner, CpuRunReport};
+use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, RunReport};
+use fpart_hash::PartitionFn;
+use fpart_memmodel::BandwidthCurve;
+use fpart_obs::{CounterSet, Ctr, ObsSnapshot};
+use fpart_types::relation::vrid_tuple;
+use fpart_types::{ColumnRelation, PartitionedRelation, Relation, Result, Tuple};
+
+use crate::fallback::AttemptPath;
+
+/// How long a partitioning run took, in the back-end's own time domain.
+#[derive(Debug, Clone)]
+pub enum PartitionStats {
+    /// CPU back-end: measured wall-clock on this host.
+    Cpu(CpuRunReport),
+    /// FPGA back-end: simulated time at the circuit clock under the
+    /// calibrated QPI model.
+    Fpga(Box<RunReport>),
+    /// Hybrid split: both back-ends ran concurrently on shares of the
+    /// input.
+    Hybrid(Box<HybridSplitStats>),
+}
+
+impl PartitionStats {
+    /// Seconds (measured for CPU, simulated for FPGA, the slower share
+    /// for the hybrid split — the shares run concurrently).
+    pub fn seconds(&self) -> f64 {
+        match self {
+            Self::Cpu(r) => r.total_time().as_secs_f64(),
+            Self::Fpga(r) => r.seconds(),
+            Self::Hybrid(h) => h.seconds(),
+        }
+    }
+
+    /// Throughput in million tuples per second.
+    pub fn mtuples_per_sec(&self) -> f64 {
+        match self {
+            Self::Cpu(r) => r.mtuples_per_sec(),
+            Self::Fpga(r) => r.mtuples_per_sec(),
+            Self::Hybrid(h) => {
+                let s = h.seconds();
+                if s > 0.0 {
+                    h.tuples() as f64 / s / 1e6
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Tuples partitioned.
+    pub fn tuples(&self) -> u64 {
+        match self {
+            Self::Cpu(r) => r.tuples,
+            Self::Fpga(r) => r.tuples,
+            Self::Hybrid(h) => h.tuples(),
+        }
+    }
+
+    /// Measured wall time if this run (or part of it) ran on the host
+    /// CPU.
+    pub fn wall_time(&self) -> Option<std::time::Duration> {
+        match self {
+            Self::Cpu(r) => Some(r.total_time()),
+            Self::Fpga(_) => None,
+            Self::Hybrid(h) => h.cpu.as_ref().map(|r| r.total_time()),
+        }
+    }
+
+    /// Simulated seconds at the circuit clock, if an FPGA share ran.
+    pub fn simulated_seconds(&self) -> Option<f64> {
+        match self {
+            Self::Cpu(_) => None,
+            Self::Fpga(r) => Some(r.seconds()),
+            Self::Hybrid(h) => h.fpga.as_ref().map(|r| r.seconds()),
+        }
+    }
+
+    /// The run's observability counters: the FPGA snapshot's counters
+    /// where an FPGA (share) ran, the CPU partitioner's synthesized
+    /// counters otherwise.
+    pub fn obs_counters(&self) -> CounterSet {
+        match self {
+            Self::Cpu(r) => r.obs_counters(),
+            Self::Fpga(r) => r.obs.counters.clone(),
+            Self::Hybrid(h) => h.obs.counters.clone(),
+        }
+    }
+}
+
+/// Per-share reports and the merged observability snapshot of one
+/// hybrid-split run.
+#[derive(Debug, Clone)]
+pub struct HybridSplitStats {
+    /// The FPGA share's run report (`None` when the split gave the FPGA
+    /// nothing).
+    pub fpga: Option<RunReport>,
+    /// The CPU share's run report (`None` when the split gave the CPU
+    /// nothing).
+    pub cpu: Option<CpuRunReport>,
+    /// Tuples in the FPGA share.
+    pub fpga_share: usize,
+    /// Tuples in the CPU share.
+    pub cpu_share: usize,
+    /// Merged snapshot: the FPGA share's snapshot (every conservation
+    /// law of the datapath still holds for it) plus the CPU share's
+    /// software-write-combining counters, which no FPGA law touches.
+    pub obs: ObsSnapshot,
+}
+
+impl HybridSplitStats {
+    /// Completion time of the split: the slower share (the shares run
+    /// concurrently; the CPU share is host wall-clock, the FPGA share
+    /// simulated time).
+    pub fn seconds(&self) -> f64 {
+        let f = self.fpga.as_ref().map(|r| r.seconds()).unwrap_or(0.0);
+        let c = self
+            .cpu
+            .as_ref()
+            .map(|r| r.total_time().as_secs_f64())
+            .unwrap_or(0.0);
+        f.max(c)
+    }
+
+    /// Total tuples across both shares.
+    pub fn tuples(&self) -> u64 {
+        self.fpga_share as u64 + self.cpu_share as u64
+    }
+
+    /// Fraction of the input the FPGA share received.
+    pub fn fpga_fraction(&self) -> f64 {
+        let n = self.tuples();
+        if n == 0 {
+            0.0
+        } else {
+            self.fpga_share as f64 / n as f64
+        }
+    }
+}
+
+/// What a back-end can and cannot do — the degradation chain and the
+/// planner read these instead of matching on concrete types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// The attempt path this engine records in a
+    /// [`crate::fallback::DegradationReport`].
+    pub path: AttemptPath,
+    /// Whether the engine's reported time is simulated (FPGA clock) as
+    /// opposed to measured host wall-clock.
+    pub simulated_time: bool,
+    /// Whether a run can abort with
+    /// [`fpart_types::FpartError::PartitionOverflow`] (PAD output mode).
+    pub can_overflow: bool,
+}
+
+/// Which engine a plan selected; the machine-readable half of a
+/// [`crate::planner::PlanExplanation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Software partitioning on host threads.
+    Cpu,
+    /// The simulated FPGA circuit.
+    Fpga,
+    /// The bandwidth-proportional CPU⊕FPGA split.
+    Hybrid,
+}
+
+impl EngineChoice {
+    /// Human-readable label (also the JSON encoding).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Cpu => "cpu",
+            Self::Fpga => "fpga",
+            Self::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// One partitioning back-end, object safe so planners and chains can
+/// hold `Box<dyn PartitionEngine<T>>` without knowing the concrete
+/// type.
+///
+/// Implementations: [`CpuPartitioner`] (infallible, measured time),
+/// [`FpgaPartitioner`] (simulated time, PAD mode can overflow) and
+/// [`HybridSplitEngine`].
+pub trait PartitionEngine<T: Tuple>: std::fmt::Debug {
+    /// Short stable engine name ("cpu", "fpga", "hybrid").
+    fn name(&self) -> &'static str;
+
+    /// The partition function this engine applies.
+    fn partition_fn(&self) -> PartitionFn;
+
+    /// Static capabilities: attempt path, time domain, overflow risk.
+    fn capabilities(&self) -> EngineCaps;
+
+    /// Partition a row-store relation.
+    ///
+    /// # Errors
+    /// PAD-mode engines abort with
+    /// [`fpart_types::FpartError::PartitionOverflow`] under skew; the
+    /// simulated platform can also abort on link or BRAM faults. Callers
+    /// wanting graceful degradation go through
+    /// [`crate::fallback::EscalationChain::run_engine`].
+    fn partition(&self, rel: &Relation<T>) -> Result<(PartitionedRelation<T>, PartitionStats)>;
+
+    /// Modeled seconds to partition `n` tuples (Section 4.6), in the
+    /// paper platform's time domain — the planner ranks engines by this.
+    fn estimate(&self, n: u64) -> f64;
+
+    /// The overflow-free variant of this engine, if it has one: PAD-mode
+    /// FPGA engines return their HIST twin, everything else `None`. The
+    /// escalation chain's HIST-retry step calls this instead of
+    /// hard-coding FPGA knowledge.
+    fn hist_fallback(&self) -> Option<Box<dyn PartitionEngine<T>>> {
+        None
+    }
+
+    /// Observability hook: the counters a finished run should publish.
+    /// The default forwards to [`PartitionStats::obs_counters`]; engines
+    /// with extra bookkeeping can override.
+    fn obs_counters(&self, stats: &PartitionStats) -> CounterSet {
+        stats.obs_counters()
+    }
+}
+
+/// The [`ModePair`] the §4.6 FPGA cost model uses for an
+/// (output, input) mode combination.
+pub fn cost_mode_pair(output: OutputMode, input: InputMode) -> ModePair {
+    match (output, input) {
+        (OutputMode::Hist, InputMode::Rid) => ModePair::HistRid,
+        (OutputMode::Hist, InputMode::Vrid) => ModePair::HistVrid,
+        (OutputMode::Pad { .. }, InputMode::Rid) => ModePair::PadRid,
+        (OutputMode::Pad { .. }, InputMode::Vrid) => ModePair::PadVrid,
+    }
+}
+
+impl<T: Tuple> PartitionEngine<T> for CpuPartitioner {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn partition_fn(&self) -> PartitionFn {
+        self.partition_fn
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            path: AttemptPath::Cpu,
+            simulated_time: false,
+            can_overflow: false,
+        }
+    }
+
+    fn partition(&self, rel: &Relation<T>) -> Result<(PartitionedRelation<T>, PartitionStats)> {
+        let (parts, report) = CpuPartitioner::partition(self, rel);
+        Ok((parts, PartitionStats::Cpu(report)))
+    }
+
+    fn estimate(&self, n: u64) -> f64 {
+        CpuCostModel::paper().partition_seconds(
+            n,
+            self.partition_fn,
+            DistributionKind::Random,
+            self.threads,
+            T::WIDTH,
+        )
+    }
+}
+
+impl<T: Tuple> PartitionEngine<T> for FpgaPartitioner {
+    fn name(&self) -> &'static str {
+        "fpga"
+    }
+
+    fn partition_fn(&self) -> PartitionFn {
+        self.config().partition_fn
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        let (path, can_overflow) = match self.config().output {
+            OutputMode::Pad { .. } => (AttemptPath::Pad, true),
+            OutputMode::Hist => (AttemptPath::Hist, false),
+        };
+        EngineCaps {
+            path,
+            simulated_time: true,
+            can_overflow,
+        }
+    }
+
+    fn partition(&self, rel: &Relation<T>) -> Result<(PartitionedRelation<T>, PartitionStats)> {
+        let (parts, report) = FpgaPartitioner::partition(self, rel)?;
+        Ok((parts, PartitionStats::Fpga(Box::new(report))))
+    }
+
+    fn estimate(&self, n: u64) -> f64 {
+        let mode = cost_mode_pair(self.config().output, self.config().input);
+        FpgaCostModel::paper().partition_seconds(n, T::WIDTH, mode)
+    }
+
+    fn hist_fallback(&self) -> Option<Box<dyn PartitionEngine<T>>> {
+        match self.config().output {
+            OutputMode::Pad { .. } => Some(Box::new(self.with_output_mode(OutputMode::Hist))),
+            OutputMode::Hist => None,
+        }
+    }
+}
+
+/// Carves a relation into two bandwidth-proportional contiguous shares,
+/// partitions the front share on the FPGA and the tail share on the
+/// CPU, and stitches the two partial outputs into one dense
+/// [`PartitionedRelation`].
+///
+/// The default share split comes from the interference-aware §4.6
+/// models: the FPGA share is sized by the interfered bandwidth curve
+/// and the CPU share by its solo throughput derated to the overlap
+/// model's 72% — the same constants `costmodel::overlap` uses for the
+/// full hybrid join schedule. [`HybridSplitEngine::with_fraction`] pins
+/// the split for experiments.
+#[derive(Debug, Clone)]
+pub struct HybridSplitEngine {
+    /// Back-end for the front share.
+    pub fpga: FpgaPartitioner,
+    /// Back-end for the tail share.
+    pub cpu: CpuPartitioner,
+    fraction: Option<f64>,
+}
+
+impl HybridSplitEngine {
+    /// Split engine over `fpga` and a CPU partitioner with the same
+    /// partition function and `cpu_threads` threads.
+    pub fn new(fpga: FpgaPartitioner, cpu_threads: usize) -> Self {
+        let cpu = CpuPartitioner::new(fpga.config().partition_fn, cpu_threads);
+        Self {
+            fpga,
+            cpu,
+            fraction: None,
+        }
+    }
+
+    /// Pin the FPGA share to `fraction` (clamped to 0..=1) of the input
+    /// instead of the modeled bandwidth-proportional split.
+    pub fn with_fraction(mut self, fraction: f64) -> Self {
+        self.fraction = Some(fraction.clamp(0.0, 1.0));
+        self
+    }
+
+    /// The fraction of `n` tuples the FPGA share receives: pinned if
+    /// [`Self::with_fraction`] was called, otherwise the modeled balance
+    /// point where both shares finish together (see
+    /// [`Self::share_times`]).
+    pub fn planned_fraction(&self, n: u64, tuple_width: usize) -> f64 {
+        if let Some(f) = self.fraction {
+            return f;
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        self.share_times(n, tuple_width).0 as f64 / n as f64
+    }
+
+    /// The modeled split of an `n`-tuple input: the FPGA share size `k`
+    /// and both shares' modeled seconds, `(k, t_fpga(k), t_cpu(n-k))`.
+    ///
+    /// The FPGA share runs against the *interfered* bandwidth curve and
+    /// the CPU share at the overlap model's 72% of its solo throughput —
+    /// both agents contend for the memory bus. `t_fpga` is increasing in
+    /// `k` and `t_cpu` decreasing, so the completion time `max(t_fpga,
+    /// t_cpu)` is minimized at their crossover; a binary search finds
+    /// it. Because `t_fpga` includes the platform's fixed setup latency,
+    /// small inputs legitimately balance at `k = 0`: handing the FPGA
+    /// anything would finish *after* the CPU is already done.
+    pub fn share_times(&self, n: u64, tuple_width: usize) -> (u64, f64, f64) {
+        let mode = cost_mode_pair(self.fpga.config().output, self.fpga.config().input);
+        let interfered = FpgaCostModel {
+            curve: BandwidthCurve::fpga_interfered(),
+            ..FpgaCostModel::paper()
+        };
+        let cpu_model = CpuCostModel::paper();
+        let t_f = |k: u64| {
+            if k == 0 {
+                0.0
+            } else {
+                interfered.partition_seconds(k, tuple_width, mode)
+            }
+        };
+        // The overlap model's calibrated CPU interference factor.
+        let t_c = |m: u64| {
+            if m == 0 {
+                0.0
+            } else {
+                cpu_model.partition_seconds(
+                    m,
+                    self.cpu.partition_fn,
+                    DistributionKind::Random,
+                    self.cpu.threads,
+                    tuple_width,
+                ) / 0.72
+            }
+        };
+        let k = match self.fraction {
+            Some(f) => ((n as f64 * f).round() as u64).min(n),
+            None => {
+                // Largest k whose FPGA share still finishes no later
+                // than the CPU share (predicate monotone in k).
+                let (mut lo, mut hi) = (0u64, n);
+                while lo < hi {
+                    let mid = lo + (hi - lo).div_ceil(2);
+                    if t_f(mid) <= t_c(n - mid) {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                // The optimum brackets the crossover: either the last
+                // CPU-bound split or the first FPGA-bound one.
+                if lo < n && t_f(lo + 1).max(t_c(n - lo - 1)) < t_f(lo).max(t_c(n - lo)) {
+                    lo + 1
+                } else {
+                    lo
+                }
+            }
+        };
+        (k, t_f(k), t_c(n - k))
+    }
+
+    /// Tuples of an `n`-tuple input assigned to the FPGA share.
+    fn share_split(&self, n: usize, tuple_width: usize) -> usize {
+        (self.share_times(n as u64, tuple_width).0 as usize).min(n)
+    }
+
+    /// Partition a column-store relation (VRID mode): the FPGA share
+    /// streams the front of the key column (its local virtual RIDs equal
+    /// the global positions); the CPU share partitions `(key, position)`
+    /// tuples rebuilt at their global positions, so the stitched output
+    /// is position-exact.
+    ///
+    /// # Errors
+    /// Propagates FPGA-share aborts (PAD overflow, injected faults)
+    /// untransformed.
+    pub fn partition_columns<T: Tuple>(
+        &self,
+        rel: &ColumnRelation<T>,
+    ) -> Result<(PartitionedRelation<T>, PartitionStats)> {
+        let keys = rel.keys();
+        let n = keys.len();
+        let k = self.share_split(n, T::WIDTH);
+
+        let fpga_side = if k > 0 {
+            Some(
+                self.fpga
+                    .partition_columns(&ColumnRelation::<T>::from_keys(&keys[..k]))?,
+            )
+        } else {
+            None
+        };
+        let cpu_side = if k < n || n == 0 {
+            let tail: Vec<T> = keys[k..]
+                .iter()
+                .enumerate()
+                .map(|(i, &key)| vrid_tuple::<T>(key, (k + i) as u64))
+                .collect();
+            Some(self.cpu.partition(&Relation::from_tuples(&tail)))
+        } else {
+            None
+        };
+        Ok(finish_split(fpga_side, cpu_side, k, n))
+    }
+}
+
+/// Stitch two partial partitioned relations into one dense output:
+/// per-partition counts add, and each output partition is the FPGA
+/// share's tuples followed by the CPU share's.
+fn stitch<T: Tuple>(
+    a: &PartitionedRelation<T>,
+    b: &PartitionedRelation<T>,
+) -> PartitionedRelation<T> {
+    let parts = a.num_partitions().max(b.num_partitions());
+    let hist: Vec<usize> = (0..parts)
+        .map(|p| {
+            let av = if p < a.num_partitions() {
+                a.partition_valid(p)
+            } else {
+                0
+            };
+            let bv = if p < b.num_partitions() {
+                b.partition_valid(p)
+            } else {
+                0
+            };
+            av + bv
+        })
+        .collect();
+    let mut out = PartitionedRelation::with_histogram(&hist, false);
+    for (p, &fill) in hist.iter().enumerate() {
+        let mut idx = out.partition_base(p);
+        let from_a = (p < a.num_partitions()).then(|| a.partition_tuples(p));
+        let from_b = (p < b.num_partitions()).then(|| b.partition_tuples(p));
+        {
+            let data = out.raw_data_mut();
+            for t in from_a
+                .into_iter()
+                .flatten()
+                .chain(from_b.into_iter().flatten())
+            {
+                data[idx] = t;
+                idx += 1;
+            }
+        }
+        out.set_partition_fill(p, fill, fill);
+    }
+    out
+}
+
+/// Merged hybrid snapshot: the FPGA share's snapshot plus the CPU
+/// share's software-write-combining counters. Only counters no FPGA
+/// conservation law references are absorbed from the CPU side — the
+/// datapath laws (tuples in/out, line accounting, cycle accounting)
+/// keep holding for the merged snapshot exactly as they did for the
+/// FPGA share alone.
+fn merged_obs(fpga: Option<&RunReport>, cpu: Option<&CpuRunReport>) -> ObsSnapshot {
+    let mut obs = fpga.map(|r| r.obs.clone()).unwrap_or_default();
+    if let Some(c) = cpu {
+        let cc = c.obs_counters();
+        for ctr in [
+            Ctr::SwwcbFullFlushes,
+            Ctr::SwwcbPartialFlushes,
+            Ctr::SwwcbNtLines,
+        ] {
+            obs.counters.set(ctr, obs.counters.get(ctr) + cc.get(ctr));
+        }
+    }
+    obs
+}
+
+impl<T: Tuple> PartitionEngine<T> for HybridSplitEngine {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn partition_fn(&self) -> PartitionFn {
+        self.fpga.config().partition_fn
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps {
+            path: AttemptPath::Hybrid,
+            simulated_time: true,
+            can_overflow: matches!(self.fpga.config().output, OutputMode::Pad { .. }),
+        }
+    }
+
+    fn partition(&self, rel: &Relation<T>) -> Result<(PartitionedRelation<T>, PartitionStats)> {
+        let n = rel.len();
+        let k = self.share_split(n, T::WIDTH);
+        let tuples = rel.tuples();
+
+        let fpga_side = if k > 0 {
+            Some(self.fpga.partition(&Relation::from_tuples(&tuples[..k]))?)
+        } else {
+            None
+        };
+        let cpu_side = if k < n || n == 0 {
+            Some(self.cpu.partition(&Relation::from_tuples(&tuples[k..])))
+        } else {
+            None
+        };
+        Ok(finish_split(fpga_side, cpu_side, k, n))
+    }
+
+    fn estimate(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let (_, t_fpga, t_cpu) = self.share_times(n, T::WIDTH);
+        t_fpga.max(t_cpu)
+    }
+
+    fn hist_fallback(&self) -> Option<Box<dyn PartitionEngine<T>>> {
+        match self.fpga.config().output {
+            OutputMode::Pad { .. } => Some(Box::new(Self {
+                fpga: self.fpga.with_output_mode(OutputMode::Hist),
+                cpu: self.cpu.clone(),
+                fraction: self.fraction,
+            })),
+            OutputMode::Hist => None,
+        }
+    }
+}
+
+/// Assemble the stitched output and merged stats from the two share
+/// results.
+fn finish_split<T: Tuple>(
+    fpga_side: Option<(PartitionedRelation<T>, RunReport)>,
+    cpu_side: Option<(PartitionedRelation<T>, CpuRunReport)>,
+    k: usize,
+    n: usize,
+) -> (PartitionedRelation<T>, PartitionStats) {
+    let (fpga_parts, fpga_report) = match fpga_side {
+        Some((p, r)) => (Some(p), Some(r)),
+        None => (None, None),
+    };
+    let (cpu_parts, cpu_report) = match cpu_side {
+        Some((p, r)) => (Some(p), Some(r)),
+        None => (None, None),
+    };
+    let parts = match (fpga_parts, cpu_parts) {
+        (Some(a), Some(b)) => stitch(&a, &b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => PartitionedRelation::with_histogram(&[], false),
+    };
+    let obs = merged_obs(fpga_report.as_ref(), cpu_report.as_ref());
+    let stats = PartitionStats::Hybrid(Box::new(HybridSplitStats {
+        fpga: fpga_report,
+        cpu: cpu_report,
+        fpga_share: k,
+        cpu_share: n - k,
+        obs,
+    }));
+    (parts, stats)
+}

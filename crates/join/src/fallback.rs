@@ -24,8 +24,10 @@
 //! reproduces the identical report.
 
 use fpart_cpu::{CpuPartitioner, CpuRunReport};
-use fpart_fpga::{FpgaPartitioner, OutputMode, RunReport};
+use fpart_fpga::{FpgaPartitioner, RunReport};
 use fpart_types::{FpartError, PartitionedRelation, Relation, Result, Tuple};
+
+use crate::engine::{PartitionEngine, PartitionStats};
 
 /// What to do when a PAD-mode FPGA run aborts. The join-level policy
 /// knob; [`EscalationChain::from_policy`] maps it onto the chain.
@@ -48,6 +50,8 @@ pub enum AttemptPath {
     Hist,
     /// The host CPU partitioner (cannot fail).
     Cpu,
+    /// The bandwidth-proportional CPU⊕FPGA split engine.
+    Hybrid,
 }
 
 impl AttemptPath {
@@ -57,6 +61,7 @@ impl AttemptPath {
             Self::Pad => "FPGA/PAD",
             Self::Hist => "FPGA/HIST",
             Self::Cpu => "CPU",
+            Self::Hybrid => "CPU+FPGA",
         }
     }
 }
@@ -88,13 +93,32 @@ impl AttemptRecord {
 pub struct DegradationReport {
     /// Every attempt in order; the last one succeeded.
     pub attempts: Vec<AttemptRecord>,
-    /// Report of the successful FPGA run, if the chain ended on the FPGA.
-    pub fpga: Option<RunReport>,
-    /// Report of the CPU fallback, if the chain ended on the CPU.
-    pub cpu: Option<CpuRunReport>,
+    /// Statistics of the successful final attempt, whichever back-end
+    /// produced it.
+    pub stats: PartitionStats,
 }
 
 impl DegradationReport {
+    /// Report of the successful FPGA run (or the FPGA share of a hybrid
+    /// run), if one completed the request.
+    pub fn fpga(&self) -> Option<&RunReport> {
+        match &self.stats {
+            PartitionStats::Fpga(r) => Some(r),
+            PartitionStats::Hybrid(h) => h.fpga.as_ref(),
+            PartitionStats::Cpu(_) => None,
+        }
+    }
+
+    /// Report of the CPU run (fallback or hybrid share), if one
+    /// completed the request.
+    pub fn cpu(&self) -> Option<&CpuRunReport> {
+        match &self.stats {
+            PartitionStats::Cpu(r) => Some(r),
+            PartitionStats::Hybrid(h) => h.cpu.as_ref(),
+            PartitionStats::Fpga(_) => None,
+        }
+    }
+
     /// The path that finally produced the output.
     pub fn final_path(&self) -> AttemptPath {
         self.attempts
@@ -153,8 +177,10 @@ impl DegradationReport {
     pub fn fault_counters(&self) -> fpart_obs::CounterSet {
         use fpart_obs::Ctr;
         let mut c = fpart_obs::CounterSet::default();
-        if let Some(report) = &self.fpga {
-            c.merge(&report.obs.counters);
+        match &self.stats {
+            PartitionStats::Fpga(r) => c.merge(&r.obs.counters),
+            PartitionStats::Hybrid(h) => c.merge(&h.obs.counters),
+            PartitionStats::Cpu(_) => {}
         }
         c.set(Ctr::FallbackAttempts, self.attempts.len() as u64);
         c.set(Ctr::FallbackWastedCycles, self.wasted_cycles());
@@ -218,7 +244,7 @@ impl EscalationChain {
 
     /// Drive `rel` through the chain starting from `fpga` (whose config,
     /// QPI model and armed fault plan all carry over into the HIST
-    /// retry).
+    /// retry). Equivalent to [`Self::run_engine`] with the FPGA engine.
     ///
     /// # Errors
     /// [`FpartError::InvalidConfig`] propagates immediately (no retry
@@ -229,86 +255,91 @@ impl EscalationChain {
         fpga: &FpgaPartitioner,
         rel: &Relation<T>,
     ) -> Result<(PartitionedRelation<T>, DegradationReport)> {
+        self.run_engine(fpga, rel)
+    }
+
+    /// Drive `rel` through the chain starting from any
+    /// [`PartitionEngine`]:
+    ///
+    /// 1. the engine itself,
+    /// 2. its [`PartitionEngine::hist_fallback`] twin, when the engine
+    ///    has one and `hist_retry` is enabled (CPU and HIST-first
+    ///    engines have none, so nothing retries twice in HIST),
+    /// 3. a CPU partitioner over the engine's partition function, when
+    ///    `cpu_fallback` is enabled and the engine is not already the
+    ///    CPU.
+    ///
+    /// Every attempt record in the returned [`DegradationReport`] is
+    /// constructed in exactly one place (the private `try_engine`
+    /// helper), whatever the back-end.
+    ///
+    /// # Errors
+    /// [`FpartError::InvalidConfig`] propagates immediately; otherwise
+    /// the last error propagates when every enabled step has failed.
+    pub fn run_engine<T: Tuple>(
+        &self,
+        engine: &dyn PartitionEngine<T>,
+        rel: &Relation<T>,
+    ) -> Result<(PartitionedRelation<T>, DegradationReport)> {
         let mut attempts = Vec::new();
 
-        let first_path = match fpga.config().output {
-            OutputMode::Pad { .. } => AttemptPath::Pad,
-            OutputMode::Hist => AttemptPath::Hist,
-        };
-        let mut last_err = match fpga.partition(rel) {
-            Ok((parts, report)) => {
-                attempts.push(AttemptRecord {
-                    path: first_path,
-                    error: None,
-                    wasted_cycles: 0,
-                });
-                return Ok((
-                    parts,
-                    DegradationReport {
-                        attempts,
-                        fpga: Some(report),
-                        cpu: None,
-                    },
-                ));
-            }
-            Err(e @ FpartError::InvalidConfig(_)) => return Err(e),
-            Err(e) => {
-                attempts.push(AttemptRecord {
-                    path: first_path,
-                    error: Some(e.clone()),
-                    wasted_cycles: wasted_estimate::<T>(&e),
-                });
-                e
-            }
+        let mut last_err = match Self::try_engine(&mut attempts, engine, rel)? {
+            Ok((parts, stats)) => return Ok((parts, DegradationReport { attempts, stats })),
+            Err(e) => e,
         };
 
-        if self.hist_retry && first_path != AttemptPath::Hist {
-            match fpga.with_output_mode(OutputMode::Hist).partition(rel) {
-                Ok((parts, report)) => {
-                    attempts.push(AttemptRecord {
-                        path: AttemptPath::Hist,
-                        error: None,
-                        wasted_cycles: 0,
-                    });
-                    return Ok((
-                        parts,
-                        DegradationReport {
-                            attempts,
-                            fpga: Some(report),
-                            cpu: None,
-                        },
-                    ));
-                }
-                Err(e) => {
-                    attempts.push(AttemptRecord {
-                        path: AttemptPath::Hist,
-                        error: Some(e.clone()),
-                        wasted_cycles: wasted_estimate::<T>(&e),
-                    });
-                    last_err = e;
+        if self.hist_retry {
+            if let Some(hist) = engine.hist_fallback() {
+                match Self::try_engine(&mut attempts, hist.as_ref(), rel)? {
+                    Ok((parts, stats)) => {
+                        return Ok((parts, DegradationReport { attempts, stats }))
+                    }
+                    Err(e) => last_err = e,
                 }
             }
         }
 
-        if self.cpu_fallback {
-            let cpu = CpuPartitioner::new(fpga.config().partition_fn, self.cpu_threads);
-            let (parts, report) = cpu.partition(rel);
-            attempts.push(AttemptRecord {
-                path: AttemptPath::Cpu,
-                error: None,
-                wasted_cycles: 0,
-            });
-            return Ok((
-                parts,
-                DegradationReport {
-                    attempts,
-                    fpga: None,
-                    cpu: Some(report),
-                },
-            ));
+        if self.cpu_fallback && engine.capabilities().path != AttemptPath::Cpu {
+            let cpu = CpuPartitioner::new(engine.partition_fn(), self.cpu_threads);
+            match Self::try_engine(&mut attempts, &cpu, rel)? {
+                Ok((parts, stats)) => return Ok((parts, DegradationReport { attempts, stats })),
+                Err(e) => last_err = e,
+            }
         }
 
         Err(last_err)
+    }
+
+    /// Run one attempt and record its outcome — the single construction
+    /// site for [`AttemptRecord`]s. The outer `Result` aborts the whole
+    /// chain ([`FpartError::InvalidConfig`]); the inner one is this
+    /// attempt's outcome.
+    #[allow(clippy::type_complexity)]
+    fn try_engine<T: Tuple>(
+        attempts: &mut Vec<AttemptRecord>,
+        engine: &dyn PartitionEngine<T>,
+        rel: &Relation<T>,
+    ) -> Result<std::result::Result<(PartitionedRelation<T>, PartitionStats), FpartError>> {
+        let path = engine.capabilities().path;
+        match engine.partition(rel) {
+            Ok((parts, stats)) => {
+                attempts.push(AttemptRecord {
+                    path,
+                    error: None,
+                    wasted_cycles: 0,
+                });
+                Ok(Ok((parts, stats)))
+            }
+            Err(e @ FpartError::InvalidConfig(_)) => Err(e),
+            Err(e) => {
+                attempts.push(AttemptRecord {
+                    path,
+                    error: Some(e.clone()),
+                    wasted_cycles: wasted_estimate::<T>(&e),
+                });
+                Ok(Err(e))
+            }
+        }
     }
 }
 
@@ -316,7 +347,7 @@ impl EscalationChain {
 mod tests {
     use super::*;
     use fpart_datagen::KeyDistribution;
-    use fpart_fpga::{InputMode, PaddingSpec, PartitionerConfig, SimFidelity};
+    use fpart_fpga::{InputMode, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity};
     use fpart_hash::PartitionFn;
     use fpart_hwsim::{Fault, FaultPlan, QpiConfig};
     use fpart_types::{Relation, Tuple8};
@@ -350,7 +381,7 @@ mod tests {
         assert!(!report.degraded());
         assert_eq!(report.final_path(), AttemptPath::Pad);
         assert_eq!(report.wasted_cycles(), 0);
-        assert!(report.fpga.is_some() && report.cpu.is_none());
+        assert!(report.fpga().is_some() && report.cpu().is_none());
     }
 
     #[test]
@@ -390,7 +421,7 @@ mod tests {
             report.attempts[1].error,
             Some(FpartError::BramSoftError { .. })
         ));
-        assert!(report.cpu.is_some() && report.fpga.is_none());
+        assert!(report.cpu().is_some() && report.fpga().is_none());
     }
 
     #[test]

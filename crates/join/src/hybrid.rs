@@ -15,13 +15,15 @@
 //! restarted in HIST mode; [`FallbackPolicy`] selects which.
 
 use fpart_cpu::CpuRunReport;
-use fpart_fpga::{FpgaPartitioner, InputMode, PartitionerConfig, RunReport};
+use fpart_fpga::{FpgaPartitioner, InputMode, OutputMode, PartitionerConfig, RunReport};
 use fpart_hwsim::QpiConfig;
 use fpart_types::{ColumnRelation, FpartError, PartitionedRelation, Relation, Result, Tuple};
 
 use crate::buildprobe::{build_probe_all, BuildProbeReport};
+use crate::engine::PartitionStats;
 use crate::fallback::{AttemptPath, EscalationChain};
 use crate::materialize::{materialize_join_vrid, rows_checksum};
+use crate::planner::{EnginePlanner, PlanExplanation};
 use crate::radix::JoinResult;
 
 pub use crate::fallback::FallbackPolicy;
@@ -46,6 +48,15 @@ pub enum PartitionOutcome {
         /// The successful HIST-mode report.
         report: RunReport,
     },
+    /// A per-input [`EnginePlanner`] plan ran (planned joins only).
+    Planned {
+        /// Why the planner picked this engine and mode.
+        explanation: PlanExplanation,
+        /// Statistics of the back-end that completed the input.
+        stats: Box<PartitionStats>,
+        /// Whether the planned engine had to degrade through the chain.
+        degraded: bool,
+    },
 }
 
 impl PartitionOutcome {
@@ -55,12 +66,18 @@ impl PartitionOutcome {
         match self {
             Self::Fpga(r) | Self::HistRetry { report: r, .. } => r.seconds(),
             Self::CpuFallback { .. } => 0.0,
+            Self::Planned { stats, .. } => stats.simulated_seconds().unwrap_or(0.0),
         }
     }
 
-    /// Whether the PAD run had to abort.
+    /// Whether the first-choice run had to abort (planned runs: whether
+    /// the chain degraded).
     pub fn aborted(&self) -> bool {
-        !matches!(self, Self::Fpga(_))
+        match self {
+            Self::Fpga(_) => false,
+            Self::Planned { degraded, .. } => *degraded,
+            _ => true,
+        }
     }
 }
 
@@ -100,6 +117,10 @@ pub struct HybridJoin {
     pub fallback: FallbackPolicy,
     /// Optional custom QPI model (defaults to the HARP link).
     pub qpi: Option<QpiConfig>,
+    /// When set, each input is planned individually (engine + output
+    /// mode + chain) instead of running the constructor-chosen FPGA
+    /// config.
+    pub planner: Option<EnginePlanner>,
 }
 
 impl HybridJoin {
@@ -110,6 +131,25 @@ impl HybridJoin {
             cpu_threads,
             fallback: FallbackPolicy::CpuPartitioner,
             qpi: None,
+            planner: None,
+        }
+    }
+
+    /// A hybrid join that plans each input with `planner` — back-end,
+    /// output mode and degradation chain are decided per relation from
+    /// its own sampled skew and the §4.6 cost models, the way a DBMS
+    /// integration would dispatch the paper's operator.
+    pub fn planned(partition_fn: fpart_hash::PartitionFn, planner: EnginePlanner) -> Self {
+        let cpu_threads = planner.cpu_threads;
+        Self {
+            fpga: PartitionerConfig {
+                partition_fn,
+                ..PartitionerConfig::paper_default(OutputMode::pad_default(), InputMode::Rid)
+            },
+            cpu_threads,
+            fallback: FallbackPolicy::CpuPartitioner,
+            qpi: None,
+            planner: Some(planner),
         }
     }
 
@@ -124,23 +164,42 @@ impl HybridJoin {
         &self,
         rel: &Relation<T>,
     ) -> Result<(PartitionedRelation<T>, PartitionOutcome)> {
+        if let Some(planner) = &self.planner {
+            let plan = planner.plan(rel, self.fpga.partition_fn);
+            let (p, report) = plan.run(rel)?;
+            let outcome = PartitionOutcome::Planned {
+                explanation: plan.explanation.clone(),
+                degraded: report.degraded(),
+                stats: Box::new(report.stats),
+            };
+            return Ok((p, outcome));
+        }
         let chain = EscalationChain::from_policy(self.fallback, self.cpu_threads);
         let (p, report) = chain.run(&self.partitioner(self.fpga.clone()), rel)?;
         let error = report.first_error().cloned();
         let outcome = match (report.final_path(), error) {
-            (_, None) => {
-                PartitionOutcome::Fpga(report.fpga.expect("a clean chain run ends on the FPGA"))
-            }
+            (_, None) => PartitionOutcome::Fpga(
+                report
+                    .fpga()
+                    .cloned()
+                    .expect("a clean chain run ends on the FPGA"),
+            ),
             (AttemptPath::Hist, Some(error)) => PartitionOutcome::HistRetry {
                 error,
-                report: report.fpga.expect("HIST path carries an FPGA report"),
+                report: report
+                    .fpga()
+                    .cloned()
+                    .expect("HIST path carries an FPGA report"),
             },
             (AttemptPath::Cpu, Some(error)) => PartitionOutcome::CpuFallback {
                 error,
-                cpu: report.cpu.expect("CPU path carries a CPU report"),
+                cpu: report
+                    .cpu()
+                    .copied()
+                    .expect("CPU path carries a CPU report"),
             },
-            (AttemptPath::Pad, Some(_)) => {
-                unreachable!("a degraded chain never ends on the PAD path")
+            (AttemptPath::Pad | AttemptPath::Hybrid, Some(_)) => {
+                unreachable!("a degraded chain never ends on its first path")
             }
         };
         Ok((p, outcome))
@@ -318,6 +377,32 @@ mod tests {
         ));
         let (m, _) = reference_join(r.tuples(), s.tuples());
         assert_eq!(result.matches, m);
+    }
+
+    #[test]
+    fn planned_join_matches_cpu_join() {
+        // Per-input planning: same result as the constructor-chosen
+        // path, with the reasoning attached to each outcome.
+        let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(0.00005, 4);
+        let join = HybridJoin::planned(
+            PartitionFn::Murmur { bits: 5 },
+            crate::planner::EnginePlanner::new(2),
+        );
+        let (jresult, jreport) = join.execute(&r, &s).unwrap();
+        let cpu = CpuRadixJoin::new(PartitionFn::Murmur { bits: 5 }, 2);
+        let (cresult, _) = cpu.execute(&r, &s);
+        assert_eq!(jresult, cresult);
+        match &jreport.r_outcome {
+            PartitionOutcome::Planned {
+                explanation,
+                degraded,
+                ..
+            } => {
+                assert!(!degraded);
+                assert_eq!(explanation.tuples, r.len() as u64);
+            }
+            other => panic!("expected planned outcome, got {other:?}"),
+        }
     }
 
     #[test]

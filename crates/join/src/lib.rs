@@ -25,12 +25,17 @@
 //!   late-materialisation cost of Section 5.2;
 //! * [`planner`] — adaptive HIST/PAD selection from a key sample, so the
 //!   §5.4 abort-and-restart cost is paid by design only when sampling is
-//!   wrong.
+//!   wrong — and the [`planner::EnginePlanner`], which folds back-end
+//!   choice (§4.6 cost model), output mode and degradation policy into
+//!   one explained [`planner::Plan`];
+//! * [`engine`] — the object-safe [`engine::PartitionEngine`] trait every
+//!   back-end (CPU, FPGA, [`engine::HybridSplitEngine`]) implements.
 
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod buildprobe;
+pub mod engine;
 pub mod fallback;
 pub mod hashtable;
 pub mod hybrid;
@@ -40,8 +45,12 @@ pub mod planner;
 pub mod radix;
 
 pub use buildprobe::{build_probe_all, BuildProbeReport};
+pub use engine::{
+    EngineCaps, EngineChoice, HybridSplitEngine, HybridSplitStats, PartitionEngine, PartitionStats,
+};
 pub use fallback::{
     AttemptPath, AttemptRecord, DegradationReport, EscalationChain, FallbackPolicy,
 };
 pub use hybrid::{HybridJoin, HybridJoinReport};
-pub use radix::{CpuRadixJoin, JoinReport, JoinResult};
+pub use planner::{EnginePlanner, ModePlan, ModePlanner, Plan, PlanExplanation};
+pub use radix::{CpuRadixJoin, JoinReport, JoinResult, PlannedJoinReport, PlannedRadixJoin};

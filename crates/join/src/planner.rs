@@ -1,4 +1,5 @@
-//! Adaptive output-mode planning.
+//! Adaptive planning: output mode from a key sample, back-end from the
+//! §4.6 cost model, degradation as policy.
 //!
 //! Section 5.4 shows the cost of guessing wrong: PAD mode's overflow "is
 //! detected … in the worst case … at the very end of a partitioning run.
@@ -10,10 +11,26 @@
 //! * **PAD** when the estimate fits the padded capacity with margin —
 //!   one pass, fastest;
 //! * **HIST** when it does not — two passes, never aborts.
+//!
+//! [`EnginePlanner`] folds the repo's three historical decision sites
+//! into one call: output mode (this sampling), back-end choice (the
+//! calibrated §4.6 CPU/FPGA cost models over `memmodel::platform`), and
+//! degradation (the [`EscalationChain`] becomes part of the returned
+//! [`Plan`] instead of a caller-side loop). Every decision is recorded
+//! in a machine-readable [`PlanExplanation`].
 
-use fpart_fpga::{OutputMode, PaddingSpec};
+use fpart_costmodel::cpu::DistributionKind;
+use fpart_costmodel::{CpuCostModel, FpgaCostModel};
+use fpart_cpu::CpuPartitioner;
+use fpart_fpga::{
+    FpgaPartitioner, InputMode, OutputMode, PaddingSpec, PartitionerConfig, SimFidelity,
+};
 use fpart_hash::PartitionFn;
-use fpart_types::{Relation, Tuple};
+use fpart_types::{PartitionedRelation, Relation, Result, Tuple};
+
+use crate::engine::PartitionStats;
+use crate::engine::{cost_mode_pair, EngineChoice, HybridSplitEngine, PartitionEngine};
+use crate::fallback::{DegradationReport, EscalationChain};
 
 /// Plans HIST vs PAD from a deterministic key sample.
 #[derive(Debug, Clone)]
@@ -38,9 +55,9 @@ impl Default for ModePlanner {
     }
 }
 
-/// What the planner decided and why.
+/// What the output-mode sampler decided and why.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Plan {
+pub struct ModePlan {
     /// The chosen output mode.
     pub output: OutputMode,
     /// Estimated tuples in the heaviest partition at full size.
@@ -51,12 +68,12 @@ pub struct Plan {
 
 impl ModePlanner {
     /// Plan the output mode for partitioning `rel` with `f`.
-    pub fn plan<T: Tuple>(&self, rel: &Relation<T>, f: PartitionFn) -> Plan {
+    pub fn plan<T: Tuple>(&self, rel: &Relation<T>, f: PartitionFn) -> ModePlan {
         let n = rel.len();
         let parts = f.fan_out();
         let pad_capacity = self.padding.capacity(n, parts, T::LANES);
         if n == 0 {
-            return Plan {
+            return ModePlan {
                 output: OutputMode::Pad {
                     padding: self.padding,
                 },
@@ -65,17 +82,19 @@ impl ModePlanner {
             };
         }
 
-        // Deterministic strided sample, histogrammed by partition id.
+        // Deterministic sample spread over the *whole* index range —
+        // index k of the sample maps to tuple ⌊k·n/sample⌋, so the tail
+        // of the relation is sampled with the same density as the head
+        // (a fixed stride of ⌊n/sample⌋ would leave the last
+        // `n mod sample·⌊n/sample⌋` tuples unseen and tail-concentrated
+        // skew invisible).
         let sample = self.sample_size.min(n).max(1);
-        let stride = (n / sample).max(1);
         let mut hist = vec![0usize; parts];
-        let mut taken = 0usize;
-        let mut i = 0usize;
-        while taken < sample && i < n {
+        for k in 0..sample {
+            let i = k * n / sample;
             hist[f.partition_of(rel.tuples()[i].key())] += 1;
-            taken += 1;
-            i += stride;
         }
+        let taken = sample;
         let max_count = hist.iter().max().copied().unwrap_or(0);
         // Separate true skew from sampling noise: the sample's heaviest
         // bin exceeds the mean both because the data is skewed and
@@ -102,7 +121,7 @@ impl ModePlanner {
             } else {
                 OutputMode::Hist
             };
-        Plan {
+        ModePlan {
             output,
             estimated_max_fill,
             pad_capacity,
@@ -110,12 +129,296 @@ impl ModePlanner {
     }
 }
 
+/// The one-stop planner: samples the output mode, prices every back-end
+/// with the calibrated §4.6 models, and wraps the winner with the
+/// degradation policy.
+#[derive(Debug, Clone)]
+pub struct EnginePlanner {
+    /// Threads for CPU runs (the CPU engine, the hybrid CPU share and
+    /// the chain's CPU fallback).
+    pub cpu_threads: usize,
+    /// Simulation fidelity for FPGA engines (default batched — same
+    /// bytes and cycle counts, orders of magnitude faster).
+    pub fidelity: SimFidelity,
+    /// The output-mode sampler.
+    pub mode: ModePlanner,
+    /// Key-distribution assumption for the CPU cost model (hash
+    /// partitioning ignores it; default [`DistributionKind::Random`]).
+    pub dist: DistributionKind,
+    /// Consider the CPU⊕FPGA split engine (default off: the split is a
+    /// co-scheduling decision the caller must opt into).
+    pub allow_hybrid: bool,
+    /// Minimum modeled speedup over the best single back-end before the
+    /// hybrid split is selected (default 1.15 — below that the stitch
+    /// overhead is not worth the coordination).
+    pub hybrid_gain: f64,
+    /// Chain policy: retry aborted runs in HIST mode.
+    pub hist_retry: bool,
+    /// Chain policy: fall back to the CPU as the last resort.
+    pub cpu_fallback: bool,
+}
+
+impl EnginePlanner {
+    /// Planner with the default policy: batched fidelity, random-keys
+    /// cost assumption, full degradation chain, no hybrid split.
+    pub fn new(cpu_threads: usize) -> Self {
+        Self {
+            cpu_threads,
+            fidelity: SimFidelity::Batched,
+            mode: ModePlanner::default(),
+            dist: DistributionKind::Random,
+            allow_hybrid: false,
+            hybrid_gain: 1.15,
+            hist_retry: true,
+            cpu_fallback: true,
+        }
+    }
+
+    /// Override the FPGA simulation fidelity.
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Override the CPU cost model's key-distribution assumption.
+    pub fn with_distribution(mut self, dist: DistributionKind) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Allow (or forbid) the CPU⊕FPGA split engine.
+    pub fn with_hybrid(mut self, allow: bool) -> Self {
+        self.allow_hybrid = allow;
+        self
+    }
+
+    /// Plan everything for partitioning `rel` with `f`: output mode,
+    /// back-end, fidelity and degradation chain, with the full
+    /// reasoning in [`Plan::explanation`].
+    pub fn plan<T: Tuple>(&self, rel: &Relation<T>, f: PartitionFn) -> Plan<T> {
+        let n = rel.len() as u64;
+        let mode_plan = self.mode.plan(rel, f);
+        let output = mode_plan.output;
+        let pair = cost_mode_pair(output, InputMode::Rid);
+
+        let t_fpga = FpgaCostModel::paper().partition_seconds(n, T::WIDTH, pair);
+        let t_cpu =
+            CpuCostModel::paper().partition_seconds(n, f, self.dist, self.cpu_threads, T::WIDTH);
+
+        let config = PartitionerConfig {
+            partition_fn: f,
+            ..PartitionerConfig::paper_default(output, InputMode::Rid)
+        }
+        .with_fidelity(self.fidelity);
+        let fpga = FpgaPartitioner::new(config);
+
+        let mut t_hybrid = None;
+        let mut fpga_fraction = None;
+        let mut choice = if t_fpga < t_cpu {
+            EngineChoice::Fpga
+        } else {
+            EngineChoice::Cpu
+        };
+        if self.allow_hybrid {
+            let hybrid = HybridSplitEngine::new(fpga.clone(), self.cpu_threads);
+            let th = PartitionEngine::<T>::estimate(&hybrid, n);
+            t_hybrid = Some(th);
+            fpga_fraction = Some(hybrid.planned_fraction(n, T::WIDTH));
+            if th > 0.0 && t_fpga.min(t_cpu) / th >= self.hybrid_gain {
+                choice = EngineChoice::Hybrid;
+            }
+        }
+
+        let engine: Box<dyn PartitionEngine<T>> = match choice {
+            EngineChoice::Cpu => Box::new(CpuPartitioner::new(f, self.cpu_threads)),
+            EngineChoice::Fpga => Box::new(fpga.clone()),
+            EngineChoice::Hybrid => {
+                Box::new(HybridSplitEngine::new(fpga.clone(), self.cpu_threads))
+            }
+        };
+
+        let explanation = PlanExplanation {
+            tuples: n,
+            tuple_width: T::WIDTH,
+            partitions: f.fan_out(),
+            engine: choice,
+            output,
+            fidelity: self.fidelity,
+            cpu_seconds: t_cpu,
+            fpga_seconds: t_fpga,
+            hybrid_seconds: t_hybrid,
+            fpga_fraction,
+            estimated_max_fill: mode_plan.estimated_max_fill,
+            pad_capacity: mode_plan.pad_capacity,
+            hist_retry: self.hist_retry,
+            cpu_fallback: self.cpu_fallback,
+        };
+        Plan {
+            engine,
+            output,
+            fidelity: self.fidelity,
+            chain: EscalationChain {
+                hist_retry: self.hist_retry,
+                cpu_fallback: self.cpu_fallback,
+                cpu_threads: self.cpu_threads,
+            },
+            explanation,
+        }
+    }
+}
+
+/// Everything the planner decided for one input: the engine to run, the
+/// output mode and fidelity baked into it, the degradation chain that
+/// wraps it, and the reasoning.
+#[derive(Debug)]
+pub struct Plan<T: Tuple> {
+    /// The selected back-end, ready to run.
+    pub engine: Box<dyn PartitionEngine<T>>,
+    /// The sampled output mode baked into `engine`.
+    pub output: OutputMode,
+    /// The FPGA simulation fidelity baked into `engine`.
+    pub fidelity: SimFidelity,
+    /// The degradation policy [`Plan::run`] applies.
+    pub chain: EscalationChain,
+    /// The machine-readable reasoning.
+    pub explanation: PlanExplanation,
+}
+
+impl<T: Tuple> Plan<T> {
+    /// Execute the plan: drive the engine through the degradation
+    /// chain.
+    ///
+    /// # Errors
+    /// Propagates the last back-end error when every enabled chain step
+    /// failed (with the default policy the CPU step cannot fail).
+    pub fn run(&self, rel: &Relation<T>) -> Result<(PartitionedRelation<T>, DegradationReport)> {
+        self.chain.run_engine(self.engine.as_ref(), rel)
+    }
+
+    /// Execute the plan without degradation: one attempt on the planned
+    /// engine.
+    ///
+    /// # Errors
+    /// Propagates the engine's error directly.
+    pub fn run_once(&self, rel: &Relation<T>) -> Result<(PartitionedRelation<T>, PartitionStats)> {
+        self.engine.partition(rel)
+    }
+}
+
+/// The machine-readable record of every decision a plan made — `fpart
+/// plan --json` prints exactly this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplanation {
+    /// Input size in tuples.
+    pub tuples: u64,
+    /// Tuple width in bytes.
+    pub tuple_width: usize,
+    /// Fan-out of the partition function.
+    pub partitions: usize,
+    /// The selected back-end.
+    pub engine: EngineChoice,
+    /// The sampled output mode.
+    pub output: OutputMode,
+    /// The FPGA simulation fidelity.
+    pub fidelity: SimFidelity,
+    /// Modeled CPU seconds (§4.6, calibrated platform).
+    pub cpu_seconds: f64,
+    /// Modeled FPGA seconds for the sampled mode.
+    pub fpga_seconds: f64,
+    /// Modeled hybrid-split seconds, when the hybrid was considered.
+    pub hybrid_seconds: Option<f64>,
+    /// The hybrid split's FPGA share fraction, when considered.
+    pub fpga_fraction: Option<f64>,
+    /// The mode sampler's heaviest-partition estimate.
+    pub estimated_max_fill: usize,
+    /// The per-partition capacity PAD mode would preassign.
+    pub pad_capacity: usize,
+    /// Whether the chain retries aborts in HIST mode.
+    pub hist_retry: bool,
+    /// Whether the chain falls back to the CPU.
+    pub cpu_fallback: bool,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+impl PlanExplanation {
+    /// Serialize as a single JSON object with a byte-stable key order
+    /// (golden-tested by the CLI).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"tuples\": {}, \"tuple_width\": {}, \"partitions\": {}, ",
+                "\"engine\": \"{}\", \"output\": \"{}\", \"fidelity\": \"{}\", ",
+                "\"cpu_seconds\": {}, \"fpga_seconds\": {}, \"hybrid_seconds\": {}, ",
+                "\"fpga_fraction\": {}, \"estimated_max_fill\": {}, \"pad_capacity\": {}, ",
+                "\"hist_retry\": {}, \"cpu_fallback\": {}}}"
+            ),
+            self.tuples,
+            self.tuple_width,
+            self.partitions,
+            self.engine.label(),
+            self.output.label(),
+            self.fidelity.label(),
+            json_f64(self.cpu_seconds),
+            json_f64(self.fpga_seconds),
+            json_opt_f64(self.hybrid_seconds),
+            json_opt_f64(self.fpga_fraction),
+            self.estimated_max_fill,
+            self.pad_capacity,
+            self.hist_retry,
+            self.cpu_fallback,
+        )
+    }
+
+    /// Multi-line human-readable rendering (the CLI's default output).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "plan: {} tuples x {} B -> {} partitions\n",
+            self.tuples, self.tuple_width, self.partitions
+        ));
+        s.push_str(&format!(
+            "  engine   {}  (cpu {:.3} ms, fpga {:.3} ms{})\n",
+            self.engine.label(),
+            self.cpu_seconds * 1e3,
+            self.fpga_seconds * 1e3,
+            match self.hybrid_seconds {
+                Some(h) => format!(", hybrid {:.3} ms", h * 1e3),
+                None => String::new(),
+            }
+        ));
+        s.push_str(&format!(
+            "  output   {}  (est. max fill {} vs PAD capacity {})\n",
+            self.output.label(),
+            self.estimated_max_fill,
+            self.pad_capacity
+        ));
+        s.push_str(&format!("  fidelity {}\n", self.fidelity.label()));
+        s.push_str(&format!(
+            "  chain    hist_retry={} cpu_fallback={}\n",
+            self.hist_retry, self.cpu_fallback
+        ));
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fpart_datagen::WorkloadId;
-    use fpart_fpga::FpgaPartitioner;
-    use fpart_fpga::{InputMode, PartitionerConfig};
+    use fpart_datagen::{KeyDistribution, WorkloadId};
     use fpart_types::Tuple8;
 
     fn f() -> PartitionFn {
@@ -193,5 +496,135 @@ mod tests {
             "estimate {} vs true {true_max}",
             plan.estimated_max_fill
         );
+    }
+
+    /// Regression for the strided-sampling bias: skew concentrated
+    /// entirely in the relation's tail (beyond `sample_size × stride`)
+    /// must still be visible to the sampler. The old fixed-stride loop
+    /// never read past index `sample·⌊n/sample⌋` and planned PAD here.
+    #[test]
+    fn tail_only_skew_plans_hist() {
+        let n = 20_000usize;
+        let mut keys: Vec<u32> = KeyDistribution::Random.generate_keys(n, 11);
+        // Uniform head, one single hot key in the last 15%.
+        for k in keys.iter_mut().skip(n - 3000) {
+            *k = 0xDEAD;
+        }
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let plan = ModePlanner::default().plan(&rel, f());
+        assert_eq!(
+            plan.output,
+            OutputMode::Hist,
+            "tail skew must be sampled: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn engine_planner_picks_cost_model_winner() {
+        // Murmur hash on few threads: the model says the FPGA wins by a
+        // wide margin; on many threads the CPU saturates the bus and
+        // wins PAD-mode throughput. The planner must agree with the raw
+        // model comparison in both regimes.
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(50_000, 5);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        for threads in [1, 2, 10] {
+            let plan = EnginePlanner::new(threads).plan(&rel, f());
+            let e = &plan.explanation;
+            let expect = if e.fpga_seconds < e.cpu_seconds {
+                EngineChoice::Fpga
+            } else {
+                EngineChoice::Cpu
+            };
+            assert_eq!(e.engine, expect, "threads={threads}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn planned_run_degrades_like_the_chain() {
+        // Full skew: the sampler picks HIST, so the planned run cannot
+        // abort at all.
+        let rel = Relation::<Tuple8>::from_keys(&vec![3u32; 4096]);
+        let plan = EnginePlanner::new(2).plan(&rel, PartitionFn::Murmur { bits: 5 });
+        assert_eq!(plan.output, OutputMode::Hist);
+        let (parts, report) = plan.run(&rel).unwrap();
+        assert_eq!(parts.total_valid(), 4096);
+        assert!(!report.degraded());
+    }
+
+    #[test]
+    fn explanation_json_is_stable_and_complete() {
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(10_000, 9);
+        let rel = Relation::<Tuple8>::from_keys(&keys);
+        let planner = EnginePlanner::new(4).with_hybrid(true);
+        let a = planner.plan(&rel, f()).explanation;
+        let b = planner.plan(&rel, f()).explanation;
+        assert_eq!(a, b, "planning is deterministic");
+        let json = a.to_json();
+        for key in [
+            "tuples",
+            "engine",
+            "output",
+            "fidelity",
+            "cpu_seconds",
+            "fpga_seconds",
+            "hybrid_seconds",
+            "fpga_fraction",
+            "estimated_max_fill",
+            "pad_capacity",
+            "hist_retry",
+            "cpu_fallback",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}: {json}"
+            );
+        }
+        let frac = a.fpga_fraction.unwrap();
+        assert!((0.0..=1.0).contains(&frac), "{a:?}");
+    }
+
+    #[test]
+    fn hybrid_selected_only_with_modeled_gain() {
+        // At 100k tuples the FPGA's fixed setup latency dominates: the
+        // balance point is k = 0 and the hybrid (its CPU share derated
+        // to 72% by the overlap model) models slower than the solo CPU,
+        // so it must never be picked even with no gain bar.
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(100_000, 2);
+        let small = Relation::<Tuple8>::from_keys(&keys);
+        let mut planner = EnginePlanner::new(10).with_hybrid(true);
+        planner.hybrid_gain = 1.0;
+        let plan = planner.plan(&small, f());
+        assert_ne!(
+            plan.explanation.engine,
+            EngineChoice::Hybrid,
+            "{:?}",
+            plan.explanation
+        );
+
+        // At 4M tuples the latency amortizes: in single-pass PAD mode
+        // the interfered FPGA (~270 Mt/s) plus the derated CPU (~364
+        // Mt/s) beat the solo CPU (~506 Mt/s), clearing the default
+        // 1.15 gain bar. 64 partitions keeps the mode sampler
+        // comfortably inside the PAD margin at this size.
+        let big_f = PartitionFn::Murmur { bits: 6 };
+        let keys: Vec<u32> = KeyDistribution::Random.generate_keys(4_000_000, 2);
+        let big = Relation::<Tuple8>::from_keys(&keys);
+        // Hybrid disallowed: never selected.
+        let plan = EnginePlanner::new(10).plan(&big, big_f);
+        assert_ne!(plan.explanation.engine, EngineChoice::Hybrid);
+        // Allowed with an impossible gain bar: still never selected.
+        let mut high_bar = EnginePlanner::new(10).with_hybrid(true);
+        high_bar.hybrid_gain = 1e9;
+        let plan = high_bar.plan(&big, big_f);
+        assert_ne!(plan.explanation.engine, EngineChoice::Hybrid);
+        // Allowed with the default bar: both agents working beat either
+        // alone, so the split wins.
+        let plan = EnginePlanner::new(10).with_hybrid(true).plan(&big, big_f);
+        let e = &plan.explanation;
+        assert_eq!(e.engine, EngineChoice::Hybrid, "{e:?}");
+        let th = e.hybrid_seconds.unwrap();
+        assert!(e.cpu_seconds.min(e.fpga_seconds) / th >= 1.15, "{e:?}");
+        let frac = e.fpga_fraction.unwrap();
+        assert!(frac > 0.2 && frac < 0.8, "balanced split expected: {e:?}");
     }
 }

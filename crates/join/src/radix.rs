@@ -8,6 +8,8 @@ use fpart_hash::PartitionFn;
 use fpart_types::{Relation, Tuple};
 
 use crate::buildprobe::{build_probe_all, BuildProbeReport};
+use crate::engine::PartitionStats;
+use crate::planner::{EnginePlanner, PlanExplanation};
 
 /// The join output summary (the evaluation counts matches; materialising
 /// output tuples is orthogonal to partitioning and identical for all
@@ -90,12 +92,92 @@ impl CpuRadixJoin {
     }
 }
 
+/// Timing breakdown of a planned join: one plan (and one explanation)
+/// per input relation.
+#[derive(Debug)]
+pub struct PlannedJoinReport {
+    /// Why R's engine was chosen.
+    pub r_plan: PlanExplanation,
+    /// Why S's engine was chosen.
+    pub s_plan: PlanExplanation,
+    /// R's partitioning statistics (whichever back-end ran).
+    pub r_partition: PartitionStats,
+    /// S's partitioning statistics.
+    pub s_partition: PartitionStats,
+    /// Build+probe phase report.
+    pub build_probe: BuildProbeReport,
+}
+
+/// A partitioned hash join that plans each input's back-end, output
+/// mode and degradation chain with an [`EnginePlanner`] instead of
+/// committing to one partitioner at construction time.
+#[derive(Debug, Clone)]
+pub struct PlannedRadixJoin {
+    /// Partitioning attribute.
+    pub partition_fn: PartitionFn,
+    /// The per-input planner.
+    pub planner: EnginePlanner,
+}
+
+impl PlannedRadixJoin {
+    /// A planned join over `partition_fn` with the planner's defaults.
+    pub fn new(partition_fn: PartitionFn, planner: EnginePlanner) -> Self {
+        Self {
+            partition_fn,
+            planner,
+        }
+    }
+
+    /// Execute R ⋈ S, planning each input independently (a small R can
+    /// take the CPU while a large S takes the FPGA).
+    ///
+    /// # Errors
+    /// Propagates a back-end error only when the planned chain has every
+    /// fallback disabled; the default chain cannot fail.
+    pub fn execute<T: Tuple>(
+        &self,
+        r: &Relation<T>,
+        s: &Relation<T>,
+    ) -> fpart_types::Result<(JoinResult, PlannedJoinReport)> {
+        let r_plan = self.planner.plan(r, self.partition_fn);
+        let s_plan = self.planner.plan(s, self.partition_fn);
+        let (rp, r_report) = r_plan.run(r)?;
+        let (sp, s_report) = s_plan.run(s)?;
+        let bp = build_probe_all(&rp, &sp, self.partition_fn.bits(), self.planner.cpu_threads);
+        Ok((
+            JoinResult {
+                matches: bp.matches,
+                checksum: bp.checksum,
+            },
+            PlannedJoinReport {
+                r_plan: r_plan.explanation.clone(),
+                s_plan: s_plan.explanation.clone(),
+                r_partition: r_report.stats,
+                s_partition: s_report.stats,
+                build_probe: bp,
+            },
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::buildprobe::reference_join;
     use fpart_datagen::WorkloadId;
     use fpart_types::Tuple8;
+
+    #[test]
+    fn planned_join_agrees_with_fixed_join() {
+        let (r, s) = WorkloadId::A.spec().row_relations::<Tuple8>(0.0001, 19);
+        let f = PartitionFn::Murmur { bits: 6 };
+        let planned = PlannedRadixJoin::new(f, EnginePlanner::new(2));
+        let (p_result, p_report) = planned.execute(&r, &s).unwrap();
+        let (c_result, _) = CpuRadixJoin::new(f, 2).execute(&r, &s);
+        assert_eq!(p_result, c_result);
+        assert_eq!(p_report.r_partition.tuples(), r.len() as u64);
+        assert_eq!(p_report.s_partition.tuples(), s.len() as u64);
+    }
 
     #[test]
     fn joins_workload_a_correctly() {

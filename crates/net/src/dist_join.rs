@@ -25,6 +25,9 @@ pub enum NodePartitioner {
     /// A network-attached FPGA per node (simulated time; nodes are
     /// parallel, so the phase time is the slowest node's).
     Fpga,
+    /// Let the [`fpart_join::EnginePlanner`] price both back-ends per
+    /// node share and run the winner through the degradation chain.
+    Planned,
 }
 
 /// Timing report of a distributed join.
@@ -171,6 +174,13 @@ impl DistributedJoin {
                 let (parts, report) = FpgaPartitioner::new(config).partition(share)?;
                 Ok((parts, report.seconds()))
             }
+            NodePartitioner::Planned => {
+                let plan = fpart_join::EnginePlanner::new(self.threads)
+                    .with_fidelity(self.fidelity)
+                    .plan(share, self.node_fn());
+                let (parts, report) = plan.run(share)?;
+                Ok((parts, report.stats.seconds()))
+            }
         }
     }
 
@@ -315,6 +325,17 @@ mod tests {
         join.partitioner = NodePartitioner::Cpu;
         let (cpu_result, _) = join.execute(&r, &s).unwrap();
         assert_eq!(fpga_result, cpu_result);
+    }
+
+    #[test]
+    fn planned_node_partitioner_agrees_and_times_each_node() {
+        let (r, s) = workload(0.00005, 7);
+        let mut join = DistributedJoin::new(4, 4);
+        let (fpga_result, _) = join.execute(&r, &s).unwrap();
+        join.partitioner = NodePartitioner::Planned;
+        let (planned_result, report) = join.execute(&r, &s).unwrap();
+        assert_eq!(planned_result, fpga_result);
+        assert!(report.partition_seconds > 0.0);
     }
 
     #[test]

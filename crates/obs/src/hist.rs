@@ -38,7 +38,7 @@ impl CycleHistogram {
         self.max = self.max.max(value);
     }
 
-    /// Raw bucket counts (index = log2 bucket, see [`BUCKETS`]).
+    /// Raw bucket counts (index = log2 bucket).
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }

@@ -20,21 +20,21 @@ fn main() {
 
     // --- CPU baseline: SWWCB + non-temporal stores, all host threads.
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let cpu = Partitioner::cpu(f, threads);
-    let (cpu_parts, cpu_stats) = cpu.partition(&rel).expect("CPU partitioning");
+    let cpu = CpuPartitioner::new(f, threads);
+    let (cpu_parts, cpu_report) = cpu.partition(&rel);
     println!(
         "CPU  ({threads} threads, measured):   {:8.1} Mtuples/s  ({:.3} s)",
-        cpu_stats.mtuples_per_sec(),
-        cpu_stats.seconds()
+        cpu_report.mtuples_per_sec(),
+        cpu_report.total_time().as_secs_f64()
     );
 
     // --- Simulated FPGA: PAD/RID on the HARP QPI link.
-    let fpga = Partitioner::fpga(f);
-    let (fpga_parts, fpga_stats) = fpga.partition(&rel).expect("FPGA partitioning");
+    let fpga = FpgaPartitioner::with_modes(f, OutputMode::pad_default(), InputMode::Rid);
+    let (fpga_parts, fpga_report) = fpga.partition(&rel).expect("FPGA partitioning");
     println!(
         "FPGA (PAD/RID, simulated @200MHz): {:8.1} Mtuples/s  ({:.3} s simulated)",
-        fpga_stats.mtuples_per_sec(),
-        fpga_stats.seconds()
+        fpga_report.mtuples_per_sec(),
+        fpga_report.seconds()
     );
 
     // Both back-ends produce the same partitioning.
@@ -52,4 +52,13 @@ fn main() {
     let model = fpart::costmodel::FpgaCostModel::paper();
     let predicted = model.p_total(n as u64, 8, fpart::costmodel::ModePair::PadRid) / 1e6;
     println!("Section 4.6 model predicts {predicted:.0} Mtuples/s for PAD/RID — compare above.");
+
+    // --- Or skip the manual choice: the planner samples the output
+    // mode and prices every back-end with the calibrated models.
+    let plan = EnginePlanner::new(threads).plan(&rel, f);
+    println!("\nThe engine planner would pick:");
+    print!("{}", plan.explanation.to_text());
+    let (planned_parts, report) = plan.run(&rel).expect("planned partitioning");
+    assert_eq!(planned_parts.histogram(), cpu_parts.histogram());
+    assert!(!report.degraded());
 }

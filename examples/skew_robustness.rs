@@ -38,13 +38,11 @@ fn main() {
     for dist in KeyDistribution::ALL {
         let keys = dist.generate_keys::<u32>(n, 3);
         let rel = Relation::<Tuple8>::from_keys(&keys);
-        let radix = Partitioner::cpu(PartitionFn::Radix { bits }, 2)
+        let radix = CpuPartitioner::new(PartitionFn::Radix { bits }, 2)
             .partition(&rel)
-            .unwrap()
             .0;
-        let hash = Partitioner::cpu(PartitionFn::Murmur { bits }, 2)
+        let hash = CpuPartitioner::new(PartitionFn::Murmur { bits }, 2)
             .partition(&rel)
-            .unwrap()
             .0;
         let (rmin, rmax, rsd) = balance_stats(radix.histogram());
         let (hmin, hmax, hsd) = balance_stats(hash.histogram());
@@ -61,7 +59,7 @@ fn main() {
     let workload = WorkloadId::A.spec();
     for zipf in [0.0, 0.25, 0.5, 1.0, 1.5] {
         let (_, s) = workload.skewed_row_relations::<Tuple8>(n as f64 / 128e6, zipf, 5);
-        let pad = Partitioner::fpga_with_modes(
+        let pad = FpgaPartitioner::with_modes(
             PartitionFn::Murmur { bits },
             OutputMode::pad_default(),
             InputMode::Rid,
@@ -80,7 +78,7 @@ fn main() {
                     "  zipf {zipf:<5} PAD ABORTED at partition {partition} after {consumed} \
                      tuples → HIST retry…"
                 );
-                let hist = Partitioner::fpga_with_modes(
+                let hist = FpgaPartitioner::with_modes(
                     PartitionFn::Murmur { bits },
                     OutputMode::Hist,
                     InputMode::Rid,

@@ -5,8 +5,8 @@
 //! Exercised with a seeded deterministic generator.
 
 use fpart::prelude::{
-    CpuRadixJoin, HybridJoin, InputMode, OutputMode, PartitionFn, Partitioner, PartitionerConfig,
-    Relation, Tuple8,
+    CpuPartitioner, CpuRadixJoin, FpgaPartitioner, HybridJoin, InputMode, OutputMode, PartitionFn,
+    PartitionerConfig, Relation, Tuple8,
 };
 use fpart::types::relation::content_checksum;
 use fpart::types::SplitMix64;
@@ -33,7 +33,7 @@ fn cpu_partitioning_is_permutation() {
             PartitionFn::Radix { bits }
         };
         let rel = Relation::<Tuple8>::from_keys(&ks);
-        let (parts, _) = Partitioner::cpu(f, 2).partition(&rel).unwrap();
+        let (parts, _) = CpuPartitioner::new(f, 2).partition(&rel);
         assert_eq!(parts.total_valid(), ks.len());
         assert_eq!(
             content_checksum(rel.tuples().iter().copied()),
@@ -57,8 +57,8 @@ fn fpga_and_cpu_histograms_agree() {
         let bits = 1 + rng.below_u64(6) as u32;
         let f = PartitionFn::Murmur { bits };
         let rel = Relation::<Tuple8>::from_keys(&ks);
-        let (cpu, _) = Partitioner::cpu(f, 1).partition(&rel).unwrap();
-        let (fpga, _) = Partitioner::fpga_with_modes(f, OutputMode::Hist, InputMode::Rid)
+        let (cpu, _) = CpuPartitioner::new(f, 1).partition(&rel);
+        let (fpga, _) = FpgaPartitioner::with_modes(f, OutputMode::Hist, InputMode::Rid)
             .partition(&rel)
             .unwrap();
         assert_eq!(cpu.histogram(), fpga.histogram());

@@ -95,8 +95,8 @@ fn fail_policy_propagates_overflow_unchanged() {
 }
 
 /// The acceptance scenario: force a PAD overflow at 50% of consumed
-/// tuples, run through `Partitioner::partition_with_fallback`, and check
-/// path, histogram and report reproducibility.
+/// tuples, run the engine through `EscalationChain::run_engine`, and
+/// check path, histogram and report reproducibility.
 #[test]
 fn injected_midpoint_overflow_degrades_and_reproduces() {
     let n = 8192usize;
@@ -111,9 +111,8 @@ fn injected_midpoint_overflow_degrades_and_reproduces() {
         consumed: n as u64 / 2,
     });
     let run = || {
-        let p = Partitioner::Fpga(FpgaPartitioner::new(pad_cfg(5, 64)).with_faults(plan.clone()));
-        p.partition_with_fallback(&rel, &EscalationChain::new(2))
-            .unwrap()
+        let p = FpgaPartitioner::new(pad_cfg(5, 64)).with_faults(plan.clone());
+        EscalationChain::new(2).run_engine(&p, &rel).unwrap()
     };
 
     let (parts, report) = run();

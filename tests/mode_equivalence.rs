@@ -25,26 +25,47 @@ fn all_backends_same_partition_contents() {
     let f = PartitionFn::Murmur { bits: 5 };
     let rel = Relation::<Tuple8>::from_keys(&keys(n));
 
-    let mut results = Vec::new();
-    for (label, p) in [
-        ("cpu-swwcb", Partitioner::cpu(f, 2)),
+    // Every back-end behind the one object-safe trait — including the
+    // CPU⊕FPGA split engine at a pinned fraction.
+    let engines: Vec<(&str, Box<dyn PartitionEngine<Tuple8>>)> = vec![
+        ("cpu-swwcb", Box::new(CpuPartitioner::new(f, 2))),
         (
             "cpu-scalar",
-            Partitioner::cpu_with_strategy(f, 2, Strategy::Scalar),
+            Box::new(CpuPartitioner::new(f, 2).with_strategy(Strategy::Scalar)),
         ),
         (
             "cpu-two-pass",
-            Partitioner::cpu_with_strategy(f, 1, Strategy::TwoPass { first_bits: 2 }),
+            Box::new(CpuPartitioner::new(f, 1).with_strategy(Strategy::TwoPass { first_bits: 2 })),
         ),
         (
             "fpga-hist",
-            Partitioner::fpga_with_modes(f, OutputMode::Hist, InputMode::Rid),
+            Box::new(FpgaPartitioner::with_modes(
+                f,
+                OutputMode::Hist,
+                InputMode::Rid,
+            )),
         ),
         (
             "fpga-pad",
-            Partitioner::fpga_with_modes(f, OutputMode::pad_default(), InputMode::Rid),
+            Box::new(FpgaPartitioner::with_modes(
+                f,
+                OutputMode::pad_default(),
+                InputMode::Rid,
+            )),
         ),
-    ] {
+        (
+            "hybrid-split",
+            Box::new(
+                HybridSplitEngine::new(
+                    FpgaPartitioner::with_modes(f, OutputMode::pad_default(), InputMode::Rid),
+                    2,
+                )
+                .with_fraction(0.5),
+            ),
+        ),
+    ];
+    let mut results = Vec::new();
+    for (label, p) in engines {
         let (parts, _) = p.partition(&rel).unwrap();
         assert_eq!(parts.total_valid(), n, "{label}");
         results.push((label, partition_multisets(&parts)));
@@ -87,7 +108,7 @@ fn fpga_dummy_overhead_is_bounded() {
     // combiners: 8 × 7 per partition.
     let f = PartitionFn::Murmur { bits: 6 };
     let rel = Relation::<Tuple8>::from_keys(&keys(3000));
-    let p = Partitioner::fpga_with_modes(f, OutputMode::Hist, InputMode::Rid);
+    let p = FpgaPartitioner::with_modes(f, OutputMode::Hist, InputMode::Rid);
     let (parts, _) = p.partition(&rel).unwrap();
     let bound = 64 * 8 * 7;
     assert!(
@@ -104,11 +125,7 @@ fn histograms_equal_for_radix_across_key_widths() {
     let ks32 = keys(4000);
     let ks64: Vec<u64> = ks32.iter().map(|&k| k as u64).collect();
     let f = PartitionFn::Radix { bits: 6 };
-    let (p32, _) = Partitioner::cpu(f, 1)
-        .partition(&Relation::<Tuple8>::from_keys(&ks32))
-        .unwrap();
-    let (p64, _) = Partitioner::cpu(f, 1)
-        .partition(&Relation::<Tuple16>::from_keys(&ks64))
-        .unwrap();
+    let (p32, _) = CpuPartitioner::new(f, 1).partition(&Relation::<Tuple8>::from_keys(&ks32));
+    let (p64, _) = CpuPartitioner::new(f, 1).partition(&Relation::<Tuple16>::from_keys(&ks64));
     assert_eq!(p32.histogram(), p64.histogram());
 }
